@@ -1,0 +1,64 @@
+"""Helpers shared by the benchmark modules.
+
+Each benchmark measures one *setting* of one figure: a workload of query
+groups (memory-resident figures 5.1-5.3) or one placement of a
+disk-resident query dataset (figures 5.4-5.7), executed with a single
+algorithm.  The wall-clock time is what pytest-benchmark reports; the
+paper's other metric (average R-tree node accesses) is attached to
+``benchmark.extra_info`` so both series of every figure come out of one
+run (``pytest benchmarks/ --benchmark-only --benchmark-verbose``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.runner import run_disk_setting, run_memory_setting
+from repro.datasets.workload import WorkloadSpec, generate_workload
+
+
+def run_memory_benchmark(benchmark, tree, data_points, spec: WorkloadSpec, algorithm: str):
+    """Benchmark one memory-resident workload setting with one algorithm."""
+    groups = generate_workload(data_points, spec, seed=17)
+
+    def execute():
+        return run_memory_setting(tree, groups, k=spec.k, algorithms=(algorithm,))
+
+    result = benchmark.pedantic(execute, rounds=1, iterations=1)
+    averages = result.averages[algorithm]
+    benchmark.extra_info["node_accesses"] = round(averages.node_accesses, 1)
+    benchmark.extra_info["cpu_time_per_query"] = averages.cpu_time
+    benchmark.extra_info["queries"] = averages.queries
+    assert averages.node_accesses > 0
+    return averages
+
+
+def run_disk_benchmark(
+    benchmark,
+    tree,
+    query_points: np.ndarray,
+    algorithm: str,
+    scale,
+    k: int | None = None,
+):
+    """Benchmark one disk-resident setting with one algorithm."""
+
+    def execute():
+        return run_disk_setting(
+            tree,
+            query_points,
+            k=k if k is not None else scale.fixed_k,
+            algorithms=(algorithm,),
+            block_pages=scale.block_pages,
+            query_tree_capacity=scale.node_capacity,
+            gcp_max_pairs=scale.gcp_max_pairs,
+        )
+
+    result = benchmark.pedantic(execute, rounds=1, iterations=1)
+    averages = result.averages[algorithm]
+    benchmark.extra_info["node_accesses"] = round(averages.node_accesses, 1)
+    benchmark.extra_info["page_reads"] = round(averages.page_reads, 1)
+    if averages.notes:
+        benchmark.extra_info["notes"] = averages.notes
+    assert averages.node_accesses > 0
+    return averages

@@ -1,0 +1,35 @@
+"""Ablation — SPM's sensitivity to the centroid approximation.
+
+The paper computes the query centroid with gradient descent and notes
+that any approximation keeps SPM correct (Lemma 1 holds for arbitrary
+reference points) — a better centroid only tightens Heuristic 1.  This
+benchmark quantifies that trade-off by running SPM with three centroid
+backends: gradient descent (the paper's choice), Weiszfeld's algorithm
+and the plain arithmetic mean.
+"""
+
+import pytest
+
+from repro.datasets.workload import WorkloadSpec
+
+from helpers import run_memory_benchmark
+
+ALGORITHMS = ("SPM", "SPM-weiszfeld", "SPM-mean")
+N_STEPS = range(3)
+
+
+@pytest.mark.parametrize("n_index", N_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_ablation_spm_centroid(benchmark, datasets, scale, n_index, algorithm):
+    if n_index >= len(scale.cardinalities):
+        pytest.skip("scale defines fewer cardinality steps")
+    n = scale.cardinalities[n_index]
+    points, tree = datasets["pp"]
+    spec = WorkloadSpec(
+        n=n,
+        mbr_fraction=scale.fixed_mbr_fraction,
+        k=scale.fixed_k,
+        queries=scale.queries_per_setting,
+    )
+    averages = run_memory_benchmark(benchmark, tree, points, spec, algorithm)
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,34 @@
+"""Ablation — the value of Heuristic 3 inside MBM (footnote 3 of the paper).
+
+The paper states: "We implemented a version of MBM with only heuristic 2
+and we found it inferior to SPM.  Nevertheless, heuristic 2 is useful
+(in conjunction with heuristic 3) because it reduces the CPU time."
+This benchmark reproduces that comparison: full MBM vs. MBM restricted
+to Heuristic 2 vs. SPM, on the same workloads.
+"""
+
+import pytest
+
+from repro.datasets.workload import WorkloadSpec
+
+from helpers import run_memory_benchmark
+
+ALGORITHMS = ("MBM", "MBM-H2", "SPM")
+N_STEPS = range(3)
+
+
+@pytest.mark.parametrize("n_index", N_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_ablation_mbm_heuristics(benchmark, datasets, scale, n_index, algorithm):
+    if n_index >= len(scale.cardinalities):
+        pytest.skip("scale defines fewer cardinality steps")
+    n = scale.cardinalities[n_index]
+    points, tree = datasets["pp"]
+    spec = WorkloadSpec(
+        n=n,
+        mbr_fraction=scale.fixed_mbr_fraction,
+        k=scale.fixed_k,
+        queries=scale.queries_per_setting,
+    )
+    averages = run_memory_benchmark(benchmark, tree, points, spec, algorithm)
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,35 @@
+"""Figure 5.2 — memory-resident cost vs. size M of the query MBR (n=64, k=8).
+
+Paper's finding: every method degrades as the query MBR grows (MQM's
+threshold rises, the pruning bounds of Heuristics 1-3 loosen), and the
+ordering MBM < SPM < MQM holds throughout.
+"""
+
+import pytest
+
+from repro.datasets.workload import WorkloadSpec
+
+from helpers import run_memory_benchmark
+
+ALGORITHMS = ("MQM", "SPM", "MBM")
+M_STEPS = range(5)
+
+
+@pytest.mark.parametrize("dataset", ["pp", "ts"])
+@pytest.mark.parametrize("m_index", M_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_2_cost_vs_mbr_size(benchmark, datasets, scale, dataset, m_index, algorithm):
+    if m_index >= len(scale.mbr_fractions):
+        pytest.skip("scale defines fewer MBR-size steps")
+    fraction = scale.mbr_fractions[m_index]
+    points, tree = datasets[dataset]
+    spec = WorkloadSpec(
+        n=scale.fixed_n,
+        mbr_fraction=fraction,
+        k=scale.fixed_k,
+        queries=scale.queries_per_setting,
+    )
+    averages = run_memory_benchmark(benchmark, tree, points, spec, algorithm)
+    benchmark.extra_info["mbr_fraction"] = fraction
+    benchmark.extra_info["dataset"] = dataset.upper()
+    assert averages.queries == scale.queries_per_setting

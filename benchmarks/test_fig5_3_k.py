@@ -1,0 +1,35 @@
+"""Figure 5.3 — memory-resident cost vs. number of retrieved neighbors k (n=64, M=8%).
+
+Paper's finding: k barely affects any method, because the extra neighbors
+are usually found in nodes the search visits anyway; the relative
+ordering (MBM best, then SPM, then MQM) is unchanged.
+"""
+
+import pytest
+
+from repro.datasets.workload import WorkloadSpec
+
+from helpers import run_memory_benchmark
+
+ALGORITHMS = ("MQM", "SPM", "MBM")
+K_STEPS = range(6)
+
+
+@pytest.mark.parametrize("dataset", ["pp", "ts"])
+@pytest.mark.parametrize("k_index", K_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_3_cost_vs_k(benchmark, datasets, scale, dataset, k_index, algorithm):
+    if k_index >= len(scale.k_values):
+        pytest.skip("scale defines fewer k steps")
+    k = scale.k_values[k_index]
+    points, tree = datasets[dataset]
+    spec = WorkloadSpec(
+        n=scale.fixed_n,
+        mbr_fraction=scale.fixed_mbr_fraction,
+        k=k,
+        queries=scale.queries_per_setting,
+    )
+    averages = run_memory_benchmark(benchmark, tree, points, spec, algorithm)
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["dataset"] = dataset.upper()
+    assert averages.queries == scale.queries_per_setting

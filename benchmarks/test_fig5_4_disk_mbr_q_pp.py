@@ -1,0 +1,35 @@
+"""Figure 5.4 — disk-resident Q=PP over P=TS, cost vs. query MBR area (k=8).
+
+The query dataset (PP-like) is affinely mapped into a centred
+sub-workspace of the data covering 2%-32% of its area.  Paper's finding:
+GCP is the worst method and blows up (or fails to terminate) as the
+query workspace grows; F-MQM wins on CPU because PP splits into only a
+few memory-sized blocks, so few per-block searches need to be combined.
+"""
+
+import pytest
+
+from repro.datasets.workload import scale_into_workspace
+
+from helpers import run_disk_benchmark
+
+ALGORITHMS = ("GCP", "F-MQM", "F-MBM")
+M_STEPS = range(5)
+
+
+@pytest.mark.parametrize("m_index", M_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_4_disk_cost_vs_mbr_area(
+    benchmark, datasets, scale, m_index, algorithm
+):
+    if m_index >= len(scale.mbr_fractions):
+        pytest.skip("scale defines fewer MBR-size steps")
+    fraction = scale.mbr_fractions[m_index]
+    pp_points, _ = datasets["pp"]
+    ts_points, ts_tree = datasets["ts"]
+    query_points = scale_into_workspace(pp_points, ts_points, fraction)
+    averages = run_disk_benchmark(benchmark, ts_tree, query_points, algorithm, scale)
+    benchmark.extra_info["mbr_fraction"] = fraction
+    benchmark.extra_info["P"] = "TS"
+    benchmark.extra_info["Q"] = "PP"
+    assert averages.queries == 1

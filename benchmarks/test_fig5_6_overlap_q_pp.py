@@ -1,0 +1,37 @@
+"""Figure 5.6 — disk-resident Q=PP over P=TS, cost vs. workspace overlap (k=8).
+
+Both workspaces have equal size; the query workspace is shifted
+diagonally so that its overlap with the data workspace varies from 0%
+(disjoint, corner to corner) to 100% (coincident).  Paper's finding: the
+cost of every algorithm grows quickly with the overlap; F-MQM wins up to
+roughly 50% overlap (with few query blocks the best neighbors concentrate
+near the shared corner), and GCP is far worse everywhere, eventually
+failing to terminate.
+"""
+
+import pytest
+
+from repro.datasets.workload import place_with_overlap
+
+from helpers import run_disk_benchmark
+
+ALGORITHMS = ("GCP", "F-MQM", "F-MBM")
+OVERLAP_STEPS = range(5)
+
+
+@pytest.mark.parametrize("overlap_index", OVERLAP_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_6_disk_cost_vs_overlap(
+    benchmark, datasets, scale, overlap_index, algorithm
+):
+    if overlap_index >= len(scale.overlap_fractions):
+        pytest.skip("scale defines fewer overlap steps")
+    overlap = scale.overlap_fractions[overlap_index]
+    pp_points, _ = datasets["pp"]
+    ts_points, ts_tree = datasets["ts"]
+    query_points = place_with_overlap(pp_points, ts_points, overlap)
+    averages = run_disk_benchmark(benchmark, ts_tree, query_points, algorithm, scale)
+    benchmark.extra_info["overlap"] = overlap
+    benchmark.extra_info["P"] = "TS"
+    benchmark.extra_info["Q"] = "PP"
+    assert averages.queries == 1

@@ -1,0 +1,34 @@
+"""Figure 5.7 — disk-resident Q=TS over P=PP, cost vs. workspace overlap (k=8).
+
+Same placement as Figure 5.6 but with the large TS-like dataset as the
+query set.  Paper's finding: with many query blocks F-MBM is the clear
+winner at every overlap; GCP is omitted (excessive cost), as in the
+paper.
+"""
+
+import pytest
+
+from repro.datasets.workload import place_with_overlap
+
+from helpers import run_disk_benchmark
+
+ALGORITHMS = ("F-MQM", "F-MBM")
+OVERLAP_STEPS = range(5)
+
+
+@pytest.mark.parametrize("overlap_index", OVERLAP_STEPS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_fig5_7_disk_cost_vs_overlap(
+    benchmark, datasets, scale, overlap_index, algorithm
+):
+    if overlap_index >= len(scale.overlap_fractions):
+        pytest.skip("scale defines fewer overlap steps")
+    overlap = scale.overlap_fractions[overlap_index]
+    pp_points, pp_tree = datasets["pp"]
+    ts_points, _ = datasets["ts"]
+    query_points = place_with_overlap(ts_points, pp_points, overlap)
+    averages = run_disk_benchmark(benchmark, pp_tree, query_points, algorithm, scale)
+    benchmark.extra_info["overlap"] = overlap
+    benchmark.extra_info["P"] = "PP"
+    benchmark.extra_info["Q"] = "TS"
+    assert averages.queries == 1

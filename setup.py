@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working on environments whose setuptools
+predates PEP 660 editable-wheel support (no ``wheel`` package available,
+as in the offline evaluation container).
+"""
+
+from setuptools import setup
+
+setup()

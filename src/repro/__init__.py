@@ -1,0 +1,64 @@
+"""Reproduction of "Group Nearest Neighbor Queries" (Papadias et al., ICDE 2004).
+
+Given a dataset ``P`` indexed by an R-tree and a group of query points
+``Q``, a group nearest neighbor (GNN) query returns the ``k`` points of
+``P`` with the smallest sum of Euclidean distances to all points of
+``Q``.  This package implements the paper's six algorithms (MQM, SPM,
+MBM for memory-resident ``Q``; GCP, F-MQM, F-MBM for disk-resident
+``Q``), every substrate they depend on (R*-tree, incremental NN and
+closest-pair search, Hilbert sorting, simulated disk I/O), and the full
+experimental harness of Section 5.
+
+Quickstart::
+
+    import numpy as np
+    from repro import GNNEngine
+
+    data = np.random.default_rng(0).uniform(0, 100, size=(10_000, 2))
+    engine = GNNEngine(data)
+    meeting = engine.query([[10, 10], [20, 35], [40, 15]], k=3)
+    for neighbor in meeting.neighbors:
+        print(neighbor.record_id, neighbor.distance)
+"""
+
+from repro.core import (
+    GNNEngine,
+    GNNResult,
+    GroupNeighbor,
+    GroupQuery,
+    QueryCost,
+    aggregate_gnn,
+    brute_force_gnn,
+    fmbm,
+    fmqm,
+    gcp,
+    mbm,
+    mqm,
+    spm,
+)
+from repro.geometry import MBR
+from repro.rtree import RTree
+from repro.storage import LRUBuffer, PointFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GNNEngine",
+    "GNNResult",
+    "GroupNeighbor",
+    "GroupQuery",
+    "LRUBuffer",
+    "MBR",
+    "PointFile",
+    "QueryCost",
+    "RTree",
+    "aggregate_gnn",
+    "brute_force_gnn",
+    "fmbm",
+    "fmqm",
+    "gcp",
+    "mbm",
+    "mqm",
+    "spm",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Experiment harness reproducing Section 5 of the paper.
+
+Every figure of the evaluation (5.1-5.7) has a corresponding experiment
+definition in :mod:`repro.bench.experiments`; running one produces the
+same series the paper plots (average node accesses and CPU time per
+algorithm, as a function of the figure's x-axis).  The harness can be
+driven three ways:
+
+* programmatically (``run_experiment("fig5_1_pp")``),
+* from the command line (``python -m repro.bench --list`` /
+  ``python -m repro.bench fig5_1_pp --scale quick``),
+* through the pytest-benchmark modules under ``benchmarks/``.
+"""
+
+from repro.bench.config import BenchScale, get_scale
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.report import format_table, results_to_markdown
+from repro.bench.runner import (
+    DiskWorkloadResult,
+    MemoryWorkloadResult,
+    run_disk_setting,
+    run_memory_setting,
+)
+
+__all__ = [
+    "BenchScale",
+    "DiskWorkloadResult",
+    "EXPERIMENTS",
+    "MemoryWorkloadResult",
+    "format_table",
+    "get_scale",
+    "results_to_markdown",
+    "run_disk_setting",
+    "run_experiment",
+    "run_memory_setting",
+]

@@ -1,0 +1,186 @@
+"""Workload execution.
+
+A *setting* is one x-axis position of one figure: a set of query groups
+(or one disk-resident query dataset placement) that is run through every
+competing algorithm.  The runner executes the setting and averages the
+cost metrics per algorithm — exactly what the paper plots (average node
+accesses and CPU time per query of the workload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fmbm import fmbm
+from repro.core.fmqm import fmqm
+from repro.core.gcp import gcp
+from repro.core.mbm import mbm
+from repro.core.mqm import mqm
+from repro.core.spm import spm
+from repro.core.types import GroupQuery
+from repro.rtree.tree import RTree
+from repro.storage.pointfile import PointFile
+
+MEMORY_ALGORITHMS = ("MQM", "SPM", "MBM")
+DISK_ALGORITHMS = ("GCP", "F-MQM", "F-MBM")
+
+
+@dataclass
+class AlgorithmAverages:
+    """Average per-query cost of one algorithm over a workload."""
+
+    algorithm: str
+    node_accesses: float = 0.0
+    cpu_time: float = 0.0
+    distance_computations: float = 0.0
+    page_reads: float = 0.0
+    queries: int = 0
+    notes: str = ""
+
+    def as_row(self) -> dict[str, object]:
+        """Return the averages as a flat dictionary (one table row)."""
+        return {
+            "algorithm": self.algorithm,
+            "node_accesses": round(self.node_accesses, 1),
+            "cpu_time": self.cpu_time,
+            "distance_computations": round(self.distance_computations, 1),
+            "page_reads": round(self.page_reads, 1),
+            "queries": self.queries,
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class MemoryWorkloadResult:
+    """Result of one memory-resident setting: averages per algorithm."""
+
+    setting: dict[str, object]
+    averages: dict[str, AlgorithmAverages] = field(default_factory=dict)
+
+
+@dataclass
+class DiskWorkloadResult:
+    """Result of one disk-resident setting: averages per algorithm."""
+
+    setting: dict[str, object]
+    averages: dict[str, AlgorithmAverages] = field(default_factory=dict)
+
+
+def _accumulate(averages: AlgorithmAverages, cost) -> None:
+    averages.node_accesses += cost.node_accesses
+    averages.cpu_time += cost.cpu_time
+    averages.distance_computations += cost.distance_computations
+    averages.page_reads += cost.page_reads
+    averages.queries += 1
+
+
+def _finalise(averages: AlgorithmAverages) -> None:
+    if averages.queries == 0:
+        return
+    averages.node_accesses /= averages.queries
+    averages.cpu_time /= averages.queries
+    averages.distance_computations /= averages.queries
+    averages.page_reads /= averages.queries
+
+
+def run_memory_setting(
+    tree: RTree,
+    query_groups: list[np.ndarray],
+    k: int,
+    algorithms: tuple[str, ...] = MEMORY_ALGORITHMS,
+    setting: dict[str, object] | None = None,
+) -> MemoryWorkloadResult:
+    """Run every memory-resident algorithm over a workload of query groups.
+
+    The same query groups are fed to every algorithm so the comparison is
+    paired, and the results of the algorithms are cross-checked against
+    each other (a mismatch raises, because it would invalidate the whole
+    measurement).
+    """
+    result = MemoryWorkloadResult(setting=dict(setting or {}))
+    runners = {
+        "MQM": lambda query: mqm(tree, query),
+        "SPM": lambda query: spm(tree, query),
+        "MBM": lambda query: mbm(tree, query),
+        "MBM-H2": lambda query: mbm(tree, query, use_heuristic3=False),
+        "SPM-weiszfeld": lambda query: spm(tree, query, centroid_method="weiszfeld"),
+        "SPM-mean": lambda query: spm(tree, query, centroid_method="mean"),
+    }
+    for name in algorithms:
+        if name not in runners:
+            raise ValueError(f"unknown memory-resident algorithm {name!r}")
+        result.averages[name] = AlgorithmAverages(algorithm=name)
+
+    for group in query_groups:
+        reference_distances = None
+        for name in algorithms:
+            query = GroupQuery(group, k=k)
+            outcome = runners[name](query)
+            _accumulate(result.averages[name], outcome.cost)
+            distances = np.array(outcome.distances())
+            if reference_distances is None:
+                reference_distances = distances
+            elif not np.allclose(distances, reference_distances, rtol=1e-8, atol=1e-8):
+                raise AssertionError(
+                    f"algorithm {name} disagrees with {algorithms[0]} on a workload query"
+                )
+    for averages in result.averages.values():
+        _finalise(averages)
+    return result
+
+
+def run_disk_setting(
+    tree: RTree,
+    query_points: np.ndarray,
+    k: int,
+    algorithms: tuple[str, ...] = DISK_ALGORITHMS,
+    points_per_page: int = 50,
+    block_pages: int = 200,
+    query_tree_capacity: int = 50,
+    gcp_max_pairs: int | None = None,
+    setting: dict[str, object] | None = None,
+) -> DiskWorkloadResult:
+    """Run the disk-resident algorithms for one placement of the query dataset.
+
+    GCP gets an R-tree over the query points (the paper's indexed
+    setting); F-MQM and F-MBM get a Hilbert-sorted :class:`PointFile`
+    split into blocks of ``block_pages * points_per_page`` points.
+    """
+    result = DiskWorkloadResult(setting=dict(setting or {}))
+    reference_distances = None
+
+    for name in algorithms:
+        averages = AlgorithmAverages(algorithm=name)
+        result.averages[name] = averages
+        if name == "GCP":
+            query_tree = RTree.bulk_load(query_points, capacity=query_tree_capacity)
+            outcome = gcp(tree, query_tree, k=k, max_pairs=gcp_max_pairs)
+            if "aborted" in outcome.cost.algorithm:
+                averages.notes = "did not terminate within the pair cap"
+        elif name == "F-MQM":
+            query_file = PointFile(
+                query_points, points_per_page=points_per_page, block_pages=block_pages
+            )
+            outcome = fmqm(tree, query_file, k=k)
+        elif name == "F-MBM":
+            query_file = PointFile(
+                query_points, points_per_page=points_per_page, block_pages=block_pages
+            )
+            outcome = fmbm(tree, query_file, k=k)
+        else:
+            raise ValueError(f"unknown disk-resident algorithm {name!r}")
+        _accumulate(averages, outcome.cost)
+        _finalise(averages)
+
+        distances = np.array(outcome.distances())
+        if averages.notes:
+            continue  # an aborted GCP run cannot be used as a correctness reference
+        if reference_distances is None:
+            reference_distances = distances
+        elif distances.size and not np.allclose(
+            distances, reference_distances, rtol=1e-8, atol=1e-8
+        ):
+            raise AssertionError(f"algorithm {name} disagrees with the reference result")
+    return result

@@ -1,0 +1,59 @@
+"""Brute-force GNN baseline.
+
+Scans the entire dataset and evaluates the aggregate distance of every
+point.  It is used (i) as the ground truth that every algorithm is
+checked against in the test suite, and (ii) as a sanity baseline in the
+benchmark harness (the paper does not plot it, but it makes the wins of
+the indexed algorithms tangible).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.geometry.distance import group_distances_bulk
+from repro.geometry.point import as_points
+from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
+
+
+def brute_force_gnn(points, query: GroupQuery) -> GNNResult:
+    """Return the exact top-k group neighbors by exhaustive scan.
+
+    ``points`` is the full dataset ``P`` as an ``(N, dims)`` array whose
+    row indices serve as record ids.
+    """
+    started = time.perf_counter()
+    pts = as_points(points)
+    distances = group_distances_bulk(
+        pts, query.points, weights=query.weights, aggregate=query.aggregate
+    )
+    k = min(query.k, pts.shape[0])
+    # argpartition gives the k smallest in O(N); sort just those k.
+    candidate_ids = np.argpartition(distances, k - 1)[:k]
+    order = candidate_ids[np.argsort(distances[candidate_ids], kind="stable")]
+    neighbors = [GroupNeighbor(int(i), pts[i], float(distances[i])) for i in order]
+    cost = QueryCost(
+        algorithm="brute-force",
+        distance_computations=int(pts.shape[0] * query.cardinality),
+        cpu_time=time.perf_counter() - started,
+    )
+    return GNNResult(neighbors=neighbors, cost=cost)
+
+
+def brute_force_over_tree(tree, query: GroupQuery) -> GNNResult:
+    """Brute force over the points stored in an R-tree (ignores the index).
+
+    Convenient in tests where only the tree is at hand; node accesses are
+    *not* charged because the scan bypasses the index structure.
+    """
+    items = list(tree.all_points())
+    if not items:
+        return GNNResult(neighbors=[], cost=QueryCost(algorithm="brute-force"))
+    record_ids = np.array([record_id for record_id, _ in items], dtype=np.int64)
+    pts = np.vstack([point for _, point in items])
+    result = brute_force_gnn(pts, query)
+    for neighbor in result.neighbors:
+        neighbor.record_id = int(record_ids[neighbor.record_id])
+    return result

@@ -1,0 +1,174 @@
+"""High-level facade over the GNN algorithms.
+
+:class:`GNNEngine` owns the R-tree for a dataset ``P`` and dispatches
+queries to the appropriate algorithm.  The ``"auto"`` policy encodes the
+recommendations of the paper's experimental study (Section 5):
+
+* memory-resident query groups → **MBM** (the clear winner in Figures
+  5.1-5.3);
+* disk-resident query files partitioned into a small number of blocks →
+  **F-MQM**, otherwise **F-MBM** (Figures 5.4-5.7 and the summary at the
+  end of Section 5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregates import aggregate_gnn
+from repro.core.bruteforce import brute_force_gnn
+from repro.core.fmbm import fmbm
+from repro.core.fmqm import fmqm
+from repro.core.gcp import gcp
+from repro.core.mbm import mbm
+from repro.core.mqm import mqm
+from repro.core.spm import spm
+from repro.core.types import GNNResult, GroupQuery
+from repro.geometry.point import as_points
+from repro.rtree.tree import DEFAULT_CAPACITY, RTree
+from repro.storage.buffer import LRUBuffer
+from repro.storage.pointfile import PointFile
+
+#: Block-count threshold below which the auto policy prefers F-MQM; the
+#: paper's PP-as-query experiments (3 blocks) favour F-MQM while the
+#: TS-as-query experiments (20 blocks) favour F-MBM.
+AUTO_FMQM_MAX_BLOCKS = 6
+
+MEMORY_ALGORITHMS = ("mqm", "spm", "mbm", "best-first", "brute-force")
+DISK_ALGORITHMS = ("fmqm", "fmbm", "gcp")
+
+
+class GNNEngine:
+    """Query engine for group nearest neighbor search over a static dataset.
+
+    Parameters
+    ----------
+    data_points:
+        The dataset ``P`` as an ``(N, dims)`` array-like; row indices
+        become record ids.
+    capacity:
+        R-tree node capacity (the paper's 1 KByte pages hold 50 entries).
+    buffer_pages:
+        Optional LRU buffer size in pages; when set, the engine reports
+        buffer-aware page faults in addition to logical node accesses.
+    bulk_method:
+        Packing strategy used to build the tree (``"str"`` or ``"hilbert"``).
+    """
+
+    def __init__(
+        self,
+        data_points,
+        capacity: int = DEFAULT_CAPACITY,
+        buffer_pages: int | None = None,
+        bulk_method: str = "str",
+    ):
+        self.points = as_points(data_points)
+        buffer = LRUBuffer(buffer_pages) if buffer_pages else None
+        self.tree = RTree.bulk_load(
+            self.points, capacity=capacity, method=bulk_method, buffer=buffer
+        )
+
+    # ------------------------------------------------------------------
+    # memory-resident queries (Section 3)
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query_points,
+        k: int = 1,
+        algorithm: str = "auto",
+        aggregate: str = "sum",
+        weights=None,
+        **options,
+    ) -> GNNResult:
+        """Answer a GNN query whose group fits in memory.
+
+        ``algorithm`` is one of ``"auto"``, ``"mqm"``, ``"spm"``,
+        ``"mbm"``, ``"best-first"`` (the aggregate-generalised optimal
+        traversal) or ``"brute-force"``.  Additional keyword options are
+        forwarded to the selected algorithm (for example
+        ``traversal="depth_first"`` for SPM/MBM or
+        ``use_heuristic3=False`` for the MBM ablation).
+        """
+        query = GroupQuery(query_points, k=k, aggregate=aggregate, weights=weights)
+        name = algorithm.lower()
+        if name == "auto":
+            # MBM is the paper's overall winner for memory-resident groups,
+            # but it is only defined for the sum aggregate; other
+            # aggregates use the generalised best-first traversal.
+            name = "mbm" if aggregate == "sum" and weights is None else "best-first"
+        if name == "mqm":
+            return mqm(self.tree, query)
+        if name == "spm":
+            return spm(self.tree, query, **options)
+        if name == "mbm":
+            return mbm(self.tree, query, **options)
+        if name == "best-first":
+            return aggregate_gnn(self.tree, query)
+        if name == "brute-force":
+            return brute_force_gnn(self.points, query)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected 'auto' or one of {MEMORY_ALGORITHMS}"
+        )
+
+    # ------------------------------------------------------------------
+    # disk-resident queries (Section 4)
+    # ------------------------------------------------------------------
+    def query_disk(
+        self,
+        query_points=None,
+        k: int = 1,
+        algorithm: str = "auto",
+        query_file: PointFile | None = None,
+        points_per_page: int = 50,
+        block_pages: int = 200,
+        query_tree_capacity: int = DEFAULT_CAPACITY,
+        **options,
+    ) -> GNNResult:
+        """Answer a GNN query whose group does not fit in memory.
+
+        Either pass the raw ``query_points`` (a :class:`PointFile` is
+        built with the given page/block geometry) or an existing
+        ``query_file``.  ``algorithm`` is ``"auto"``, ``"fmqm"``,
+        ``"fmbm"`` or ``"gcp"`` (the latter builds an R-tree over the
+        query set, matching the paper's indexed-query setting).
+        """
+        name = algorithm.lower()
+        if name == "gcp":
+            if query_points is None:
+                raise ValueError("GCP needs the raw query points to build the query R-tree")
+            query_tree = RTree.bulk_load(as_points(query_points), capacity=query_tree_capacity)
+            return gcp(self.tree, query_tree, k=k, **options)
+
+        if query_file is None:
+            if query_points is None:
+                raise ValueError("either query_points or query_file must be provided")
+            query_file = PointFile(
+                as_points(query_points),
+                points_per_page=points_per_page,
+                block_pages=block_pages,
+            )
+        if name == "auto":
+            name = "fmqm" if query_file.block_count <= AUTO_FMQM_MAX_BLOCKS else "fmbm"
+        if name == "fmqm":
+            return fmqm(self.tree, query_file, k=k, **options)
+        if name == "fmbm":
+            return fmbm(self.tree, query_file, k=k, **options)
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; expected 'auto' or one of {DISK_ALGORITHMS}"
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(self, point) -> int:
+        """Insert a new data point into the index; returns its record id."""
+        point = np.asarray(point, dtype=np.float64)
+        record_id = self.tree.insert(point, record_id=len(self.points))
+        self.points = np.vstack([self.points, point.reshape(1, -1)])
+        return record_id
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def __repr__(self) -> str:
+        return f"GNNEngine(points={len(self.points)}, tree={self.tree!r})"

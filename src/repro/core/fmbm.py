@@ -1,0 +1,178 @@
+"""F-MBM — the file minimum bounding method (Section 4.3 of the paper).
+
+F-MBM handles a disk-resident, non-indexed query set without performing
+one query per block.  After the Hilbert sort, only the *summary* of each
+block — its MBR ``M_i`` and cardinality ``n_i`` — is kept in memory.
+The R-tree of ``P`` is traversed once:
+
+* **Heuristic 5** prunes a node ``N`` when its *weighted mindist*
+  ``sum_i n_i * mindist(N, M_i)`` reaches ``best_dist``.
+* At a leaf, the surviving points accumulate their exact distances block
+  by block; blocks are read in **descending** ``mindist(N, M_i)`` order
+  so that far-away blocks get the chance to discard points early.
+* **Heuristic 6** drops a point as soon as its accumulated distance plus
+  the weighted mindist to the not-yet-read blocks reaches ``best_dist``.
+
+Both best-first (used in the paper's experiments) and depth-first
+traversals are provided.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.heuristics import heuristic5_prunes, heuristic6_prunes, weighted_mindist
+from repro.core.instrumentation import CostTracker
+from repro.core.types import BestList, GNNResult
+from repro.geometry.distance import group_distance
+from repro.rtree.tree import RTree
+from repro.storage.pointfile import PointFile
+
+
+def fmbm(
+    tree: RTree,
+    query_file: PointFile,
+    k: int = 1,
+    traversal: str = "best_first",
+    charge_summary_scan: bool = False,
+) -> GNNResult:
+    """Run F-MBM over a disk-resident query file.
+
+    Parameters
+    ----------
+    tree:
+        R-tree over the dataset ``P``.
+    query_file:
+        The (Hilbert-sorted) query file.
+    k:
+        Number of group nearest neighbors to return.
+    traversal:
+        ``"best_first"`` (default, as in the paper's experiments) or
+        ``"depth_first"`` (the pseudo-code of Figure 4.7).
+    charge_summary_scan:
+        The per-block summaries can be produced during the external sort
+        the paper excludes from the measured cost; set this to True to
+        charge the extra sequential scan anyway.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if traversal not in ("best_first", "depth_first"):
+        raise ValueError(f"unknown traversal {traversal!r}")
+    tracker = CostTracker("F-MBM", trees=[tree], io_counters=[query_file.counters])
+    best = BestList(k)
+    if len(tree) == 0 or len(query_file) == 0:
+        return GNNResult(neighbors=[], cost=tracker.finish())
+
+    summaries = _collect_summaries(query_file, charge_summary_scan)
+
+    if traversal == "best_first":
+        _fmbm_best_first(tree, query_file, summaries, best)
+    else:
+        _fmbm_depth_first(tree, tree.root, query_file, summaries, best)
+    return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
+
+
+def _collect_summaries(query_file: PointFile, charge_summary_scan: bool):
+    """Build the in-memory (MBR, cardinality) summary of every block."""
+    if charge_summary_scan:
+        return query_file.block_summaries()
+    # Build summaries without charging I/O: the scan piggybacks on the
+    # external sort, whose cost the paper excludes.
+    from repro.storage.pointfile import BlockSummary
+
+    summaries = []
+    charged = query_file.counters.snapshot()
+    for block in query_file.iter_blocks():
+        summaries.append(BlockSummary(block.index, block.mbr, block.cardinality))
+    # Roll back the charges made by iter_blocks.
+    query_file.counters.page_reads = charged["page_reads"]
+    query_file.counters.block_reads = charged["block_reads"]
+    return summaries
+
+
+def _fmbm_best_first(tree, query_file, summaries, best) -> None:
+    """Best-first traversal ordered by the weighted mindist of Heuristic 5."""
+    counter = itertools.count()
+    heap = [(0.0, next(counter), tree.root)]
+    while heap:
+        bound, _, node = heapq.heappop(heap)
+        if best.is_full() and heuristic5_prunes(bound, best.best_dist):
+            break
+        node = tree.read_node(node)
+        if node.is_leaf:
+            _process_leaf(tree, node, query_file, summaries, best)
+            continue
+        for entry in node.entries:
+            child_bound = weighted_mindist(entry.mbr, summaries)
+            tree.stats.record_distance_computations(len(summaries))
+            if best.is_full() and heuristic5_prunes(child_bound, best.best_dist):
+                continue
+            heapq.heappush(heap, (child_bound, next(counter), entry.child))
+
+
+def _fmbm_depth_first(tree, node, query_file, summaries, best) -> None:
+    """Depth-first traversal following Figure 4.7 of the paper."""
+    node = tree.read_node(node)
+    if node.is_leaf:
+        _process_leaf(tree, node, query_file, summaries, best)
+        return
+    ranked = []
+    for entry in node.entries:
+        bound = weighted_mindist(entry.mbr, summaries)
+        tree.stats.record_distance_computations(len(summaries))
+        ranked.append((bound, entry))
+    ranked.sort(key=lambda item: item[0])
+    for bound, entry in ranked:
+        if best.is_full() and heuristic5_prunes(bound, best.best_dist):
+            break
+        _fmbm_depth_first(tree, entry.child, query_file, summaries, best)
+
+
+def _process_leaf(tree, node, query_file, summaries, best) -> None:
+    """Accumulate exact block distances for the points of one leaf node.
+
+    Implements the leaf-level loop of Figure 4.7: points are ordered by
+    weighted mindist, blocks are read in descending ``mindist(N, M_i)``
+    order, and Heuristic 6 drops points as soon as their optimistic
+    completion can no longer beat ``best_dist``.
+    """
+    node_mbr = node.compute_mbr()
+    # Survivors: list of [entry, accumulated_distance].
+    survivors = []
+    for entry in node.entries:
+        bound = weighted_mindist(entry.point, summaries)
+        tree.stats.record_distance_computations(len(summaries))
+        if best.is_full() and heuristic5_prunes(bound, best.best_dist):
+            continue
+        survivors.append([entry, 0.0])
+    if not survivors:
+        return
+
+    # Blocks far from the leaf are processed first: they contribute large
+    # distances and therefore prune points before the expensive
+    # computations against the remaining blocks.
+    ordered_blocks = sorted(
+        summaries, key=lambda summary: node_mbr.mindist_mbr(summary.mbr), reverse=True
+    )
+
+    for position, summary in enumerate(ordered_blocks):
+        if not survivors:
+            return
+        remaining = ordered_blocks[position + 1 :]
+        block = query_file.read_block(summary.index)
+        still_alive = []
+        for item in survivors:
+            entry, accumulated = item
+            if best.is_full() and heuristic6_prunes(
+                entry.point, accumulated, [summary] + remaining, best.best_dist
+            ):
+                continue
+            accumulated += group_distance(entry.point, block.points)
+            tree.stats.record_distance_computations(block.cardinality)
+            item[1] = accumulated
+            still_alive.append(item)
+        survivors = still_alive
+
+    for entry, accumulated in survivors:
+        best.offer(entry.record_id, entry.point, accumulated)

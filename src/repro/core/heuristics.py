@@ -1,0 +1,167 @@
+"""The paper's pruning heuristics as standalone, unit-testable predicates.
+
+Each function returns ``True`` when the candidate (node or point) can be
+*pruned*, i.e. it provably cannot improve on the current ``best_dist``.
+The algorithms in this package call these predicates rather than
+inlining the inequalities, so the exact conditions of the paper are
+visible in one place and covered by dedicated tests (including the
+property-based ones that check they never prune the true answer).
+
+Numbering follows the paper:
+
+* Heuristic 1 — SPM, centroid-based node pruning (Section 3.2)
+* Heuristic 2 — MBM, query-MBR node pruning (Section 3.3)
+* Heuristic 3 — MBM, per-query-point mindist pruning (Section 3.3)
+* Heuristic 4 — GCP, partial-distance pruning (Section 4.1)
+* Heuristic 5 — F-MBM, weighted-mindist node pruning (Section 4.3)
+* Heuristic 6 — F-MBM, per-point remaining-group pruning (Section 4.3)
+
+Lemma 1 (the triangle-inequality bound behind Heuristic 1) is also
+exposed for direct testing.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.geometry.distance import euclidean, group_distance
+from repro.geometry.mbr import MBR
+
+
+def lemma1_lower_bound(point, reference, group, reference_distance: float | None = None) -> float:
+    """Lower bound on ``dist(p, Q)`` from Lemma 1: ``n*|pq| - dist(q, Q)``.
+
+    ``reference`` is the arbitrary point ``q`` (SPM uses the approximate
+    centroid); ``reference_distance`` caches ``dist(q, Q)`` when the
+    caller already knows it.
+    """
+    group = np.asarray(group, dtype=np.float64)
+    n = group.shape[0]
+    if reference_distance is None:
+        reference_distance = group_distance(reference, group)
+    return n * euclidean(point, reference) - reference_distance
+
+
+def heuristic1_prunes_node(
+    mindist_node_centroid: float,
+    best_dist: float,
+    centroid_group_distance: float,
+    group_cardinality: int,
+) -> bool:
+    """Heuristic 1: prune node N when ``mindist(N, q) >= (best_dist + dist(q, Q)) / n``."""
+    if group_cardinality < 1:
+        raise ValueError("the query group must contain at least one point")
+    bound = (best_dist + centroid_group_distance) / group_cardinality
+    return mindist_node_centroid >= bound
+
+
+def heuristic1_prunes_point(
+    distance_point_centroid: float,
+    best_dist: float,
+    centroid_group_distance: float,
+    group_cardinality: int,
+) -> bool:
+    """Heuristic 1 applied at the leaf level: prune point p when ``|pq| >= (best_dist + dist(q, Q)) / n``."""
+    return heuristic1_prunes_node(
+        distance_point_centroid, best_dist, centroid_group_distance, group_cardinality
+    )
+
+
+def heuristic2_prunes(mindist_to_query_mbr: float, best_dist: float, group_cardinality: int) -> bool:
+    """Heuristic 2: prune node (or point) when ``mindist(N, M) >= best_dist / n``."""
+    if group_cardinality < 1:
+        raise ValueError("the query group must contain at least one point")
+    return mindist_to_query_mbr >= best_dist / group_cardinality
+
+
+def heuristic3_prunes(mbr: MBR, query_points: np.ndarray, best_dist: float) -> bool:
+    """Heuristic 3: prune node N when ``sum_i mindist(N, q_i) >= best_dist``."""
+    total = float(mbr.mindist_points(query_points).sum())
+    return total >= best_dist
+
+
+def heuristic3_prunes_precomputed(summed_mindist: float, best_dist: float) -> bool:
+    """Heuristic 3 when the caller already summed the per-query mindists."""
+    return summed_mindist >= best_dist
+
+
+def heuristic4_prunes(
+    group_cardinality: int,
+    pair_count: int,
+    current_pair_distance: float,
+    accumulated_distance: float,
+    best_dist: float,
+) -> bool:
+    """Heuristic 4 (GCP): prune candidate p when
+
+    ``(n - counter(p)) * dist(p_i, q_j) + curr_dist(p) >= best_dist``.
+
+    ``current_pair_distance`` is the distance of the closest pair just
+    emitted; every not-yet-seen distance of ``p`` is at least that large
+    because the stream is non-decreasing.
+    """
+    remaining = group_cardinality - pair_count
+    if remaining < 0:
+        raise ValueError("pair_count cannot exceed the group cardinality")
+    return remaining * current_pair_distance + accumulated_distance >= best_dist
+
+
+def gcp_candidate_threshold(
+    group_cardinality: int,
+    pair_count: int,
+    accumulated_distance: float,
+    best_dist: float,
+) -> float:
+    """Per-candidate threshold ``t_i = (best_dist - curr_dist) / (n - counter)`` of GCP.
+
+    The global threshold T is the maximum of these values over the
+    qualifying list; GCP stops once the emitted pair distance reaches T.
+    """
+    remaining = group_cardinality - pair_count
+    if remaining <= 0:
+        raise ValueError("the candidate already has a complete distance")
+    return (best_dist - accumulated_distance) / remaining
+
+
+def weighted_mindist(mbr_or_point, block_summaries) -> float:
+    """The weighted mindist of Heuristic 5: ``sum_i n_i * mindist(N, M_i)``.
+
+    Accepts either an :class:`~repro.geometry.mbr.MBR` (node pruning) or
+    a point (leaf-level ordering in F-MBM).
+    """
+    total = 0.0
+    if isinstance(mbr_or_point, MBR):
+        for summary in block_summaries:
+            total += summary.cardinality * mbr_or_point.mindist_mbr(summary.mbr)
+    else:
+        for summary in block_summaries:
+            total += summary.cardinality * summary.mbr.mindist_point(mbr_or_point)
+    return total
+
+
+def heuristic5_prunes(weighted_mindist_value: float, best_dist: float) -> bool:
+    """Heuristic 5 (F-MBM): prune node N when its weighted mindist reaches ``best_dist``."""
+    return weighted_mindist_value >= best_dist
+
+
+def heuristic6_prunes(
+    point,
+    accumulated_distance: float,
+    remaining_summaries: Sequence,
+    best_dist: float,
+) -> bool:
+    """Heuristic 6 (F-MBM): prune point p when
+
+    ``curr_dist(p) + sum_{remaining i} n_i * mindist(p, M_i) >= best_dist``.
+
+    ``remaining_summaries`` are the blocks whose exact distances have not
+    been accumulated into ``accumulated_distance`` yet.
+    """
+    bound = accumulated_distance
+    for summary in remaining_summaries:
+        bound += summary.cardinality * summary.mbr.mindist_point(point)
+        if bound >= best_dist:
+            return True
+    return bound >= best_dist

@@ -1,0 +1,50 @@
+"""Cost tracking shared by every GNN algorithm.
+
+Each algorithm wraps its work in a :class:`CostTracker`, which snapshots
+the counters of the involved R-trees and I/O counters before the query
+and reports the delta afterwards.  Using deltas (instead of resetting
+the counters) lets callers run many queries against the same tree and
+still aggregate workload-level statistics however they want.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.types import QueryCost
+
+
+class CostTracker:
+    """Measures the cost of a single query across trees and I/O counters."""
+
+    def __init__(self, algorithm: str, trees=(), io_counters=()):
+        self.algorithm = algorithm
+        self._trees = list(trees)
+        self._io_counters = list(io_counters)
+        self._tree_baselines = [tree.stats.snapshot() for tree in self._trees]
+        self._io_baselines = [io.snapshot() for io in self._io_counters]
+        self._started = time.perf_counter()
+        self._extra_distance_computations = 0
+
+    def charge_distance_computations(self, count: int) -> None:
+        """Charge distance evaluations not attributable to a tree traversal."""
+        self._extra_distance_computations += int(count)
+
+    def finish(self) -> QueryCost:
+        """Return the cost accumulated since the tracker was created."""
+        cost = QueryCost(algorithm=self.algorithm)
+        cost.cpu_time = time.perf_counter() - self._started
+        for tree, baseline in zip(self._trees, self._tree_baselines):
+            current = tree.stats.snapshot()
+            cost.node_accesses += current["node_accesses"] - baseline["node_accesses"]
+            cost.leaf_accesses += current["leaf_accesses"] - baseline["leaf_accesses"]
+            cost.page_faults += current["page_faults"] - baseline["page_faults"]
+            cost.distance_computations += (
+                current["distance_computations"] - baseline["distance_computations"]
+            )
+        for io, baseline in zip(self._io_counters, self._io_baselines):
+            current = io.snapshot()
+            cost.page_reads += current["page_reads"] - baseline["page_reads"]
+            cost.block_reads += current["block_reads"] - baseline["block_reads"]
+        cost.distance_computations += self._extra_distance_computations
+        return cost

@@ -1,0 +1,153 @@
+"""MBM — the minimum bounding method (Section 3.3 of the paper).
+
+MBM performs a single traversal of the R-tree of ``P`` pruned by the MBR
+``M`` of the query group:
+
+* **Heuristic 2** — a node (or point) whose ``mindist`` to ``M`` reaches
+  ``best_dist / n`` cannot qualify.  One distance computation per node.
+* **Heuristic 3** — a node whose summed per-query-point ``mindist``
+  reaches ``best_dist`` cannot qualify.  Tighter, but needs ``n``
+  distance computations, so it is only evaluated for nodes that survive
+  Heuristic 2 (the paper's footnote 3 reports the same trade-off and the
+  ablation benchmark reproduces it).
+
+Both the best-first implementation (used in the paper's experiments) and
+the depth-first variant (the walk-through of Figure 3.7) are provided.
+The weighted and max/min-aggregate extensions reuse the same traversal
+with generalised bounds (see :mod:`repro.core.aggregates`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.heuristics import heuristic2_prunes, heuristic3_prunes_precomputed
+from repro.core.instrumentation import CostTracker
+from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.rtree.tree import RTree
+
+
+def mbm(
+    tree: RTree,
+    query: GroupQuery,
+    traversal: str = "best_first",
+    use_heuristic3: bool = True,
+) -> GNNResult:
+    """Run the minimum bounding method.
+
+    Parameters
+    ----------
+    tree:
+        R-tree over the dataset ``P``.
+    query:
+        The query group; the sum aggregate matches the paper, and the
+        weighted / max / min generalisations are accepted as well (the
+        bounds degrade gracefully: Heuristic 2 uses the total weight,
+        Heuristic 3 uses the aggregate lower bound).
+    traversal:
+        ``"best_first"`` (default) or ``"depth_first"``.
+    use_heuristic3:
+        Disable to reproduce the paper's ablation ("MBM with only
+        heuristic 2 ... inferior to SPM").
+    """
+    if traversal not in ("best_first", "depth_first"):
+        raise ValueError(f"unknown traversal {traversal!r}")
+    tracker = CostTracker(f"MBM-{traversal}", trees=[tree])
+    best = BestList(query.k)
+    if len(tree) == 0:
+        return GNNResult(neighbors=[], cost=tracker.finish())
+
+    if traversal == "best_first":
+        _mbm_best_first(tree, query, best, use_heuristic3)
+    else:
+        _mbm_depth_first(tree, tree.root, query, best, use_heuristic3)
+    return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
+
+
+def _divisor(query: GroupQuery) -> float:
+    """The denominator of Heuristic 2, generalised to weights and aggregates.
+
+    Pruning is safe whenever ``divisor * mindist(N, M) <= dist(p, Q)`` for
+    every point ``p`` inside ``N``.  Because each ``|p q_i|`` is at least
+    ``mindist(p, M)``:
+
+    * sum aggregate: ``dist(p, Q) >= (sum_i w_i) * mindist`` — divisor is
+      ``n`` for unweighted queries (the paper's Heuristic 2);
+    * max aggregate: ``dist(p, Q) >= (max_i w_i) * mindist``;
+    * min aggregate: ``dist(p, Q) >= (min_i w_i) * mindist``.
+    """
+    if query.aggregate == "sum":
+        return query.total_weight()
+    weights = query.weights
+    if weights is None:
+        return 1.0
+    if query.aggregate == "max":
+        return float(weights.max())
+    return float(weights.min())
+
+
+def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
+    """Best-first MBM: the heap is ordered by mindist to the query MBR."""
+    query_mbr = query.mbr
+    divisor = _divisor(query)
+    counter = itertools.count()
+    heap = [(0.0, next(counter), tree.root)]
+
+    while heap:
+        mindist_to_m, _, node = heapq.heappop(heap)
+        # The heap is ordered by mindist(N, M): once the head fails
+        # Heuristic 2 every remaining entry fails it too.
+        if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
+            break
+        node = tree.read_node(node)
+        if node.is_leaf:
+            _process_leaf(tree, node, query, best, divisor)
+            continue
+        for entry in node.entries:
+            child_mindist = entry.mbr.mindist_mbr(query_mbr)
+            tree.stats.record_distance_computations(1)
+            if best.is_full() and heuristic2_prunes(child_mindist, best.best_dist, divisor):
+                continue
+            if use_heuristic3 and best.is_full():
+                lower_bound = query.mindist_lower_bound(entry.mbr)
+                tree.stats.record_distance_computations(query.cardinality)
+                if heuristic3_prunes_precomputed(lower_bound, best.best_dist):
+                    continue
+            heapq.heappush(heap, (child_mindist, next(counter), entry.child))
+
+
+def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
+    """Depth-first MBM following the walk-through of Figure 3.7."""
+    query_mbr = query.mbr
+    divisor = _divisor(query)
+    node = tree.read_node(node)
+    if node.is_leaf:
+        _process_leaf(tree, node, query, best, divisor)
+        return
+    ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_mbr(query_mbr))
+    tree.stats.record_distance_computations(len(node.entries))
+    for entry in ranked:
+        mindist_to_m = entry.mbr.mindist_mbr(query_mbr)
+        if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
+            break
+        if use_heuristic3 and best.is_full():
+            lower_bound = query.mindist_lower_bound(entry.mbr)
+            tree.stats.record_distance_computations(query.cardinality)
+            if heuristic3_prunes_precomputed(lower_bound, best.best_dist):
+                continue
+        _mbm_depth_first(tree, entry.child, query, best, use_heuristic3)
+
+
+def _process_leaf(tree, node, query, best, divisor) -> None:
+    """Apply Heuristic 2 to leaf points before paying the full distance computation."""
+    query_mbr = query.mbr
+    ranked = sorted(node.entries, key=lambda e: query_mbr.mindist_point(e.point))
+    tree.stats.record_distance_computations(len(node.entries))
+    for entry in ranked:
+        mindist_to_m = query_mbr.mindist_point(entry.point)
+        if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
+            break
+        distance = query.distance_to(entry.point)
+        tree.stats.record_distance_computations(query.cardinality)
+        best.offer(entry.record_id, entry.point, distance)

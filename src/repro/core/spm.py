@@ -1,0 +1,113 @@
+"""SPM — the single point method (Section 3.2 of the paper).
+
+SPM performs a single traversal of the R-tree of ``P`` guided by the
+(approximate) centroid ``q`` of the query group.  Lemma 1 gives the
+pruning bound: for any point ``p``,
+
+    ``dist(p, Q) >= n * |p q| - dist(q, Q)``
+
+so a node or point whose distance from ``q`` reaches
+``(best_dist + dist(q, Q)) / n`` cannot contain/cannot be a better
+neighbor (Heuristic 1).  Both the best-first implementation (used by the
+paper's experiments) and the depth-first one (the paper's pseudo-code,
+Figure 3.4) are provided.
+"""
+
+from __future__ import annotations
+
+from repro.core.centroid import compute_centroid
+from repro.core.heuristics import heuristic1_prunes_node, heuristic1_prunes_point
+from repro.core.instrumentation import CostTracker
+from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.geometry.distance import euclidean, group_distance
+from repro.rtree.traversal import incremental_nearest_generic
+from repro.rtree.tree import RTree
+
+
+def spm(
+    tree: RTree,
+    query: GroupQuery,
+    traversal: str = "best_first",
+    centroid_method: str = "gradient",
+) -> GNNResult:
+    """Run the single point method.
+
+    Parameters
+    ----------
+    tree:
+        R-tree over the dataset ``P``.
+    query:
+        The query group (sum aggregate, unweighted — as defined in the paper).
+    traversal:
+        ``"best_first"`` (default, what the paper's experiments use) or
+        ``"depth_first"`` (the pseudo-code of Figure 3.4).
+    centroid_method:
+        Passed to :func:`repro.core.centroid.compute_centroid`; the paper
+        uses gradient descent.
+    """
+    if query.aggregate != "sum":
+        raise ValueError("SPM is only defined for the sum aggregate")
+    if query.weights is not None:
+        raise ValueError("SPM does not support weighted queries; use MBM instead")
+    if traversal not in ("best_first", "depth_first"):
+        raise ValueError(f"unknown traversal {traversal!r}")
+
+    tracker = CostTracker(f"SPM-{traversal}", trees=[tree])
+    best = BestList(query.k)
+    if len(tree) == 0:
+        return GNNResult(neighbors=[], cost=tracker.finish())
+
+    centroid = compute_centroid(query.points, method=centroid_method)
+    centroid_distance = group_distance(centroid, query.points)
+
+    if traversal == "best_first":
+        _spm_best_first(tree, query, centroid, centroid_distance, best)
+    else:
+        _spm_depth_first(tree, tree.root, query, centroid, centroid_distance, best)
+
+    return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
+
+
+def _spm_best_first(tree, query, centroid, centroid_distance, best) -> None:
+    """Consume an incremental NN stream around the centroid until Heuristic 1 fires."""
+    n = query.cardinality
+
+    def node_key(mbr):
+        return mbr.mindist_point(centroid)
+
+    def point_key(point):
+        return euclidean(point, centroid)
+
+    for neighbor in incremental_nearest_generic(tree, node_key, point_key):
+        # neighbor.distance is |p q|; the stream is ascending in it, so the
+        # first point failing Heuristic 1 terminates the whole search.
+        if heuristic1_prunes_point(neighbor.distance, best.best_dist, centroid_distance, n):
+            break
+        distance = query.distance_to(neighbor.point)
+        tree.stats.record_distance_computations(n)
+        best.offer(neighbor.record_id, neighbor.point, distance)
+
+
+def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> None:
+    """Recursive depth-first SPM following Figure 3.4 of the paper."""
+    n = query.cardinality
+    node = tree.read_node(node)
+    if node.is_leaf:
+        ranked = sorted(node.entries, key=lambda e: euclidean(e.point, centroid))
+        tree.stats.record_distance_computations(len(node.entries))
+        for entry in ranked:
+            if heuristic1_prunes_point(
+                euclidean(entry.point, centroid), best.best_dist, centroid_distance, n
+            ):
+                break
+            distance = query.distance_to(entry.point)
+            tree.stats.record_distance_computations(n)
+            best.offer(entry.record_id, entry.point, distance)
+        return
+    ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_point(centroid))
+    for entry in ranked:
+        if heuristic1_prunes_node(
+            entry.mbr.mindist_point(centroid), best.best_dist, centroid_distance, n
+        ):
+            break
+        _spm_depth_first(tree, entry.child, query, centroid, centroid_distance, best)

@@ -1,0 +1,227 @@
+"""Shared result and query types for the GNN algorithms.
+
+The symbols mirror Table 3.1 of the paper:
+
+=====================  =====================================================
+``Q``                  set of query points (:class:`GroupQuery`)
+``n``                  number of query points (``GroupQuery.cardinality``)
+``M``                  MBR of Q (``GroupQuery.mbr``)
+``q``                  centroid of Q (``GroupQuery.centroid``)
+``dist(p, Q)``         aggregate distance (``GroupQuery.distance_to``)
+``best_dist``          k-th best distance found so far (``BestList.best_dist``)
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.distance import SUM, group_distance, group_mindist
+from repro.geometry.mbr import MBR
+from repro.geometry.point import as_points
+
+
+class GroupQuery:
+    """A group nearest neighbor query.
+
+    Parameters
+    ----------
+    points:
+        The query group ``Q`` as an ``(n, dims)`` array.
+    k:
+        Number of group nearest neighbors to retrieve.
+    aggregate:
+        ``"sum"`` (the paper's definition), ``"max"`` or ``"min"``.
+    weights:
+        Optional per-query-point weights (extension feature).
+    """
+
+    def __init__(self, points, k: int = 1, aggregate: str = SUM, weights=None):
+        self.points = as_points(points)
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        self.aggregate = aggregate
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        self._mbr: MBR | None = None
+        self._centroid: np.ndarray | None = None
+
+    @property
+    def cardinality(self) -> int:
+        """Number of query points ``n``."""
+        return self.points.shape[0]
+
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the query points."""
+        return self.points.shape[1]
+
+    @property
+    def mbr(self) -> MBR:
+        """Minimum bounding rectangle ``M`` of the query group (cached)."""
+        if self._mbr is None:
+            self._mbr = MBR.from_points(self.points)
+        return self._mbr
+
+    def distance_to(self, point) -> float:
+        """Aggregate distance ``dist(p, Q)`` from a data point to the group."""
+        return group_distance(point, self.points, weights=self.weights, aggregate=self.aggregate)
+
+    def mindist_lower_bound(self, mbr: MBR) -> float:
+        """Lower bound of ``dist(p, Q)`` over all points ``p`` inside ``mbr``."""
+        return group_mindist(mbr, self.points, weights=self.weights, aggregate=self.aggregate)
+
+    def total_weight(self) -> float:
+        """Sum of weights (``n`` when the query is unweighted)."""
+        if self.weights is None:
+            return float(self.cardinality)
+        return float(self.weights.sum())
+
+    def __len__(self) -> int:
+        return self.cardinality
+
+    def __repr__(self) -> str:
+        return (
+            f"GroupQuery(n={self.cardinality}, k={self.k}, dims={self.dims}, "
+            f"aggregate={self.aggregate!r})"
+        )
+
+
+class GroupNeighbor:
+    """One GNN result: a data point and its aggregate distance to ``Q``."""
+
+    __slots__ = ("record_id", "point", "distance")
+
+    def __init__(self, record_id: int, point: np.ndarray, distance: float):
+        self.record_id = int(record_id)
+        self.point = point
+        self.distance = float(distance)
+
+    def as_tuple(self) -> tuple[int, float]:
+        """Return ``(record_id, distance)``; convenient for comparisons in tests."""
+        return (self.record_id, self.distance)
+
+    def __repr__(self) -> str:
+        return f"GroupNeighbor(id={self.record_id}, distance={self.distance:.6g})"
+
+
+class BestList:
+    """Running list of the ``k`` best group neighbors found so far.
+
+    ``best_dist`` is the distance of the k-th best neighbor, or infinity
+    while fewer than ``k`` neighbors have been seen — exactly the pruning
+    bound every heuristic of the paper compares against.
+    """
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = int(k)
+        # max-heap on distance, emulated by negating distances
+        self._heap: list[tuple[float, int, GroupNeighbor]] = []
+        self._members: set[int] = set()
+
+    @property
+    def best_dist(self) -> float:
+        """Distance of the k-th best neighbor (infinity until k have been found)."""
+        if len(self._heap) < self.k:
+            return float("inf")
+        return -self._heap[0][0]
+
+    def offer(self, record_id: int, point: np.ndarray, distance: float) -> bool:
+        """Consider a candidate; return True when it enters the current top-k.
+
+        Duplicate record ids are ignored (a point encountered through two
+        different search paths must not occupy two result slots).
+        """
+        if record_id in self._members:
+            return False
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-distance, record_id, GroupNeighbor(record_id, point, distance)))
+            self._members.add(record_id)
+            return True
+        if distance >= self.best_dist:
+            return False
+        _, evicted_id, _ = heapq.heapreplace(
+            self._heap, (-distance, record_id, GroupNeighbor(record_id, point, distance))
+        )
+        self._members.discard(evicted_id)
+        self._members.add(record_id)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, record_id: int) -> bool:
+        return record_id in self._members
+
+    def is_full(self) -> bool:
+        """True once ``k`` neighbors have been collected."""
+        return len(self._heap) >= self.k
+
+    def neighbors(self) -> list[GroupNeighbor]:
+        """Return the collected neighbors sorted by ascending distance."""
+        ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [item[2] for item in ordered]
+
+
+@dataclass
+class QueryCost:
+    """Cost metrics of one executed query, matching the paper's reporting.
+
+    ``node_accesses`` and ``cpu_time`` are the two series plotted in every
+    figure of Section 5; the remaining counters add detail that helps
+    explain them (and are used by the ablation benches).
+    """
+
+    algorithm: str = ""
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    page_faults: int = 0
+    distance_computations: int = 0
+    page_reads: int = 0
+    block_reads: int = 0
+    cpu_time: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the metrics as a plain dictionary (used by the report writer)."""
+        return {
+            "algorithm": self.algorithm,
+            "node_accesses": self.node_accesses,
+            "leaf_accesses": self.leaf_accesses,
+            "page_faults": self.page_faults,
+            "distance_computations": self.distance_computations,
+            "page_reads": self.page_reads,
+            "block_reads": self.block_reads,
+            "cpu_time": self.cpu_time,
+        }
+
+
+@dataclass
+class GNNResult:
+    """The outcome of a GNN query: the neighbors plus the cost of finding them."""
+
+    neighbors: list[GroupNeighbor] = field(default_factory=list)
+    cost: QueryCost = field(default_factory=QueryCost)
+
+    @property
+    def best(self) -> GroupNeighbor | None:
+        """The single best group nearest neighbor (None for an empty dataset)."""
+        return self.neighbors[0] if self.neighbors else None
+
+    def distances(self) -> list[float]:
+        """Distances of the returned neighbors in ascending order."""
+        return [neighbor.distance for neighbor in self.neighbors]
+
+    def record_ids(self) -> list[int]:
+        """Record ids of the returned neighbors in ascending distance order."""
+        return [neighbor.record_id for neighbor in self.neighbors]
+
+    def __repr__(self) -> str:
+        return (
+            f"GNNResult(k={len(self.neighbors)}, best={self.best}, "
+            f"algorithm={self.cost.algorithm!r})"
+        )

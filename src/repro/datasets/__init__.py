@@ -1,0 +1,33 @@
+"""Dataset and workload generators for the paper's experiments.
+
+The paper evaluates on two real datasets that are no longer downloadable
+(PP — populated places of North America; TS — centroids of stream MBRs
+of four US states).  :mod:`repro.datasets.real_like` provides synthetic
+stand-ins with the same cardinalities and qualitatively similar spatial
+skew; :mod:`repro.datasets.workload` builds the query workloads used by
+Figures 5.1-5.7 (query groups of ``n`` uniform points inside a random
+MBR covering a given fraction of the data workspace, workspace scaling
+and workspace-overlap placement).
+"""
+
+from repro.datasets.real_like import pp_like, ts_like
+from repro.datasets.synthetic import gaussian_clusters, uniform_points
+from repro.datasets.workload import (
+    WorkloadSpec,
+    generate_query_group,
+    generate_workload,
+    place_with_overlap,
+    scale_into_workspace,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "gaussian_clusters",
+    "generate_query_group",
+    "generate_workload",
+    "place_with_overlap",
+    "pp_like",
+    "scale_into_workspace",
+    "ts_like",
+    "uniform_points",
+]

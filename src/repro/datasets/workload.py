@@ -1,0 +1,148 @@
+"""Query-workload generation for the paper's experiments.
+
+Section 5.1: "we use workloads of 100 queries.  Each query has a number
+``n`` of points, distributed uniformly in a MBR of area ``M``, which is
+randomly generated in the workspace of ``P``."  Section 5.2 varies the
+*relative workspaces* of the data and query datasets: either the query
+workspace is a centred, scaled-down copy of the data workspace, or the
+two workspaces have equal size and a controlled overlap fraction.
+
+The helpers here implement exactly those placements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import as_points
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one experimental setting (one x-axis position of a figure).
+
+    Attributes
+    ----------
+    n:
+        Number of query points per group.
+    mbr_fraction:
+        Area of the query MBR as a fraction of the data workspace area
+        (the paper's ``M``, e.g. 0.08 for "8%").
+    k:
+        Number of group nearest neighbors retrieved.
+    queries:
+        Number of query groups in the workload (100 in the paper).
+    """
+
+    n: int
+    mbr_fraction: float
+    k: int
+    queries: int = 100
+
+    def describe(self) -> str:
+        """Human-readable one-liner used by the report tables."""
+        return (
+            f"n={self.n}, M={self.mbr_fraction:.0%}, k={self.k}, "
+            f"queries={self.queries}"
+        )
+
+
+def generate_query_group(
+    data_mbr: MBR,
+    n: int,
+    mbr_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate one query group: ``n`` uniform points in a random query MBR.
+
+    The query MBR is a square of area ``mbr_fraction * area(data_mbr)``
+    placed uniformly at random inside the data workspace (clamped so it
+    fits).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < mbr_fraction <= 1.0:
+        raise ValueError("mbr_fraction must be in (0, 1]")
+    extents = data_mbr.extents
+    # A square whose area is the requested fraction of the workspace area.
+    side = float(np.sqrt(mbr_fraction * data_mbr.area()))
+    side = min(side, float(extents.min()))
+    low = np.array(
+        [
+            rng.uniform(data_mbr.low[d], data_mbr.high[d] - side)
+            if data_mbr.high[d] - side > data_mbr.low[d]
+            else data_mbr.low[d]
+            for d in range(data_mbr.dims)
+        ]
+    )
+    return rng.uniform(low, low + side, size=(n, data_mbr.dims))
+
+
+def generate_workload(
+    data_points: np.ndarray,
+    spec: WorkloadSpec,
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Generate the full workload (a list of query groups) for one setting."""
+    pts = as_points(data_points)
+    data_mbr = MBR.from_points(pts)
+    rng = np.random.default_rng(seed)
+    return [
+        generate_query_group(data_mbr, spec.n, spec.mbr_fraction, rng)
+        for _ in range(spec.queries)
+    ]
+
+
+def scale_into_workspace(
+    query_points: np.ndarray,
+    data_points: np.ndarray,
+    area_fraction: float,
+) -> np.ndarray:
+    """Affinely map a query dataset into a centred sub-workspace of the data.
+
+    Used by Figures 5.4 and 5.5: the workspaces of ``P`` and ``Q`` share
+    the same centroid but the MBR of ``Q`` covers ``area_fraction`` of
+    the workspace of ``P``.
+    """
+    if not 0.0 < area_fraction <= 1.0:
+        raise ValueError("area_fraction must be in (0, 1]")
+    q = as_points(query_points)
+    data_mbr = MBR.from_points(as_points(data_points))
+    query_mbr = MBR.from_points(q)
+    scale = float(np.sqrt(area_fraction))
+    target_extents = data_mbr.extents * scale
+    target_low = data_mbr.center - target_extents / 2.0
+    source_extents = np.where(query_mbr.extents > 0, query_mbr.extents, 1.0)
+    normalised = (q - query_mbr.low) / source_extents
+    return target_low + normalised * target_extents
+
+
+def place_with_overlap(
+    query_points: np.ndarray,
+    data_points: np.ndarray,
+    overlap_fraction: float,
+) -> np.ndarray:
+    """Place the query workspace so it overlaps the data workspace by a fraction.
+
+    Used by Figures 5.6 and 5.7: both workspaces have the same size; an
+    overlap of 100% means they coincide, 0% means they are disjoint
+    (meeting at a corner).  Intermediate values are obtained by shifting
+    the query workspace diagonally, exactly as described in the paper:
+    a shift of ``s`` times the side length on both axes leaves an overlap
+    area of ``(1 - s)^2``, hence ``s = 1 - sqrt(overlap_fraction)``.
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    q = as_points(query_points)
+    data_mbr = MBR.from_points(as_points(data_points))
+    query_mbr = MBR.from_points(q)
+    # First, map the query workspace onto the data workspace (same size,
+    # same position), then shift diagonally.
+    source_extents = np.where(query_mbr.extents > 0, query_mbr.extents, 1.0)
+    normalised = (q - query_mbr.low) / source_extents
+    aligned = data_mbr.low + normalised * data_mbr.extents
+    shift_fraction = 1.0 - float(np.sqrt(overlap_fraction))
+    return aligned + shift_fraction * data_mbr.extents

@@ -1,0 +1,38 @@
+"""Geometric primitives used by every other subsystem.
+
+The module exposes the small vocabulary that the paper's algorithms are
+written in:
+
+* :class:`~repro.geometry.mbr.MBR` — axis-aligned minimum bounding
+  rectangles with ``mindist`` / ``maxdist`` metrics,
+* distance helpers in :mod:`repro.geometry.distance` — point-to-point,
+  point-to-group aggregate distances,
+* the Hilbert space-filling curve in :mod:`repro.geometry.hilbert`, used
+  to sort query points for locality (Sections 3.1, 4.2 and 4.3 of the
+  paper).
+"""
+
+from repro.geometry.distance import (
+    aggregate_distance,
+    euclidean,
+    group_distance,
+    group_mindist,
+    squared_euclidean,
+)
+from repro.geometry.hilbert import hilbert_index, hilbert_sort
+from repro.geometry.mbr import MBR
+from repro.geometry.point import as_point, as_points, point_equal
+
+__all__ = [
+    "MBR",
+    "aggregate_distance",
+    "as_point",
+    "as_points",
+    "euclidean",
+    "group_distance",
+    "group_mindist",
+    "hilbert_index",
+    "hilbert_sort",
+    "point_equal",
+    "squared_euclidean",
+]

@@ -1,0 +1,192 @@
+"""Axis-aligned minimum bounding rectangles (MBRs).
+
+The R-tree stores an MBR per entry; the GNN pruning heuristics of the
+paper are all phrased in terms of ``mindist`` between MBRs, points and
+other MBRs (Table 3.1 of the paper).  The class below is dimension
+agnostic — the paper uses 2-D data but explicitly notes the techniques
+apply to higher dimensionalities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.point import GeometryError, as_point, as_points
+
+
+class MBR:
+    """An axis-aligned hyper-rectangle described by its low/high corners.
+
+    Instances are treated as immutable: all combining operations return
+    new MBRs.  ``low`` and ``high`` are float64 arrays of equal length
+    with ``low <= high`` in every dimension.
+    """
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low: Sequence[float], high: Sequence[float]):
+        low_arr = as_point(low)
+        high_arr = as_point(high)
+        if low_arr.size != high_arr.size:
+            raise GeometryError("low and high corners must have the same dimensionality")
+        if np.any(low_arr > high_arr):
+            raise GeometryError(f"invalid MBR: low {low_arr} exceeds high {high_arr}")
+        self.low = low_arr
+        self.high = high_arr
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_point(cls, point: Sequence[float]) -> "MBR":
+        """Return the degenerate MBR covering a single point."""
+        p = as_point(point)
+        return cls(p, p)
+
+    @classmethod
+    def from_points(cls, points: Iterable[Sequence[float]] | np.ndarray) -> "MBR":
+        """Return the tightest MBR covering ``points``."""
+        pts = as_points(points)
+        return cls(pts.min(axis=0), pts.max(axis=0))
+
+    @classmethod
+    def union_of(cls, mbrs: Iterable["MBR"]) -> "MBR":
+        """Return the tightest MBR covering every MBR in ``mbrs``."""
+        mbrs = list(mbrs)
+        if not mbrs:
+            raise GeometryError("cannot take the union of zero MBRs")
+        low = np.min(np.vstack([m.low for m in mbrs]), axis=0)
+        high = np.max(np.vstack([m.high for m in mbrs]), axis=0)
+        return cls(low, high)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def dims(self) -> int:
+        """Dimensionality of the rectangle."""
+        return self.low.size
+
+    @property
+    def center(self) -> np.ndarray:
+        """Geometric centre of the rectangle."""
+        return (self.low + self.high) / 2.0
+
+    @property
+    def extents(self) -> np.ndarray:
+        """Side length along each dimension."""
+        return self.high - self.low
+
+    def area(self) -> float:
+        """Hyper-volume of the rectangle (area in 2-D)."""
+        return float(np.prod(self.extents))
+
+    def margin(self) -> float:
+        """Sum of side lengths (the R*-tree split criterion calls this margin)."""
+        return float(np.sum(self.extents))
+
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has zero extent in every dimension."""
+        return bool(np.all(self.extents == 0.0))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, point: Sequence[float]) -> bool:
+        """True when ``point`` lies inside or on the boundary."""
+        p = as_point(point, dims=self.dims)
+        return bool(np.all(p >= self.low) and np.all(p <= self.high))
+
+    def contains(self, other: "MBR") -> bool:
+        """True when ``other`` is fully covered by this rectangle."""
+        return bool(np.all(other.low >= self.low) and np.all(other.high <= self.high))
+
+    def intersects(self, other: "MBR") -> bool:
+        """True when the two rectangles share at least a boundary point."""
+        return bool(np.all(self.low <= other.high) and np.all(other.low <= self.high))
+
+    def intersection(self, other: "MBR") -> "MBR | None":
+        """Return the overlapping region, or None when disjoint."""
+        low = np.maximum(self.low, other.low)
+        high = np.minimum(self.high, other.high)
+        if np.any(low > high):
+            return None
+        return MBR(low, high)
+
+    def overlap_area(self, other: "MBR") -> float:
+        """Hyper-volume of the overlap region (0.0 when disjoint)."""
+        region = self.intersection(other)
+        return 0.0 if region is None else region.area()
+
+    # ------------------------------------------------------------------
+    # combining
+    # ------------------------------------------------------------------
+    def union(self, other: "MBR") -> "MBR":
+        """Return the tightest MBR covering both rectangles."""
+        return MBR(np.minimum(self.low, other.low), np.maximum(self.high, other.high))
+
+    def union_point(self, point: Sequence[float]) -> "MBR":
+        """Return the tightest MBR covering this rectangle and ``point``."""
+        p = as_point(point, dims=self.dims)
+        return MBR(np.minimum(self.low, p), np.maximum(self.high, p))
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase needed to cover ``other`` (the R-tree insertion criterion)."""
+        return self.union(other).area() - self.area()
+
+    # ------------------------------------------------------------------
+    # distances
+    # ------------------------------------------------------------------
+    def mindist_point(self, point: Sequence[float]) -> float:
+        """Minimum Euclidean distance from ``point`` to any point of the MBR.
+
+        This is the classic ``mindist(N, q)`` lower bound of [RKV95]; it is
+        zero when the point lies inside the rectangle.
+        """
+        p = as_point(point, dims=self.dims)
+        delta = np.maximum(0.0, np.maximum(self.low - p, p - self.high))
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    def mindist_points(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`mindist_point` for a ``(count, dims)`` array."""
+        pts = as_points(points, dims=self.dims)
+        delta = np.maximum(0.0, np.maximum(self.low - pts, pts - self.high))
+        return np.sqrt(np.sum(delta * delta, axis=1))
+
+    def maxdist_point(self, point: Sequence[float]) -> float:
+        """Maximum Euclidean distance from ``point`` to any point of the MBR."""
+        p = as_point(point, dims=self.dims)
+        delta = np.maximum(np.abs(self.low - p), np.abs(self.high - p))
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    def mindist_mbr(self, other: "MBR") -> float:
+        """Minimum distance between any two points of the two rectangles.
+
+        ``mindist(N1, N2)`` in the paper's terminology; zero when the
+        rectangles intersect.
+        """
+        delta = np.maximum(0.0, np.maximum(self.low - other.high, other.low - self.high))
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    def maxdist_mbr(self, other: "MBR") -> float:
+        """Maximum distance between any two points of the two rectangles."""
+        delta = np.maximum(np.abs(self.high - other.low), np.abs(other.high - self.low))
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    # ------------------------------------------------------------------
+    # dunder helpers
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MBR):
+            return NotImplemented
+        return bool(np.array_equal(self.low, other.low) and np.array_equal(self.high, other.high))
+
+    def __hash__(self) -> int:
+        return hash((self.low.tobytes(), self.high.tobytes()))
+
+    def __repr__(self) -> str:
+        low = ", ".join(f"{v:g}" for v in self.low)
+        high = ", ".join(f"{v:g}" for v in self.high)
+        return f"MBR(low=[{low}], high=[{high}])"

@@ -1,0 +1,39 @@
+"""A from-scratch R*-tree and the search primitives the GNN algorithms need.
+
+The package provides:
+
+* :class:`~repro.rtree.tree.RTree` — an R*-tree over points with insert,
+  delete, range search and STR bulk loading,
+* best-first (incremental) and depth-first nearest-neighbor search in
+  :mod:`repro.rtree.traversal`,
+* an incremental closest-pair join over two trees in
+  :mod:`repro.rtree.closest_pairs` (needed by the GCP algorithm of
+  Section 4.1 of the paper),
+* node-access accounting in :mod:`repro.rtree.stats`, which the paper's
+  experiments report as "NA".
+"""
+
+from repro.rtree.closest_pairs import incremental_closest_pairs
+from repro.rtree.entry import ChildEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.stats import TreeStats
+from repro.rtree.traversal import (
+    best_first_nearest,
+    depth_first_nearest,
+    incremental_nearest,
+    incremental_nearest_generic,
+)
+from repro.rtree.tree import RTree
+
+__all__ = [
+    "ChildEntry",
+    "LeafEntry",
+    "Node",
+    "RTree",
+    "TreeStats",
+    "best_first_nearest",
+    "depth_first_nearest",
+    "incremental_closest_pairs",
+    "incremental_nearest",
+    "incremental_nearest_generic",
+]

@@ -1,0 +1,74 @@
+"""R-tree entries.
+
+A node stores a list of entries.  Leaf nodes store :class:`LeafEntry`
+objects (a data point plus its record identifier); internal nodes store
+:class:`ChildEntry` objects (an MBR plus the child node it bounds).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import as_point
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.rtree.node import Node
+
+
+class LeafEntry:
+    """A data point stored at the leaf level.
+
+    Attributes
+    ----------
+    point:
+        The point coordinates as a float64 array.
+    record_id:
+        The identifier of the point in the original dataset (its row
+        index for bulk-loaded trees).
+    """
+
+    __slots__ = ("point", "record_id")
+
+    def __init__(self, point, record_id: int):
+        self.point = as_point(point)
+        self.record_id = int(record_id)
+
+    @property
+    def mbr(self) -> MBR:
+        """Degenerate MBR covering the point (used by split/bulk-load code)."""
+        return MBR.from_point(self.point)
+
+    def __repr__(self) -> str:
+        coords = ", ".join(f"{v:g}" for v in self.point)
+        return f"LeafEntry(id={self.record_id}, point=[{coords}])"
+
+
+class ChildEntry:
+    """An internal-node entry bounding a child subtree."""
+
+    __slots__ = ("mbr", "child")
+
+    def __init__(self, mbr: MBR, child: "Node"):
+        self.mbr = mbr
+        self.child = child
+
+    def recompute_mbr(self) -> None:
+        """Tighten the stored MBR to exactly cover the child's entries."""
+        self.mbr = self.child.compute_mbr()
+
+    def __repr__(self) -> str:
+        return f"ChildEntry(level={self.child.level}, mbr={self.mbr})"
+
+
+def entries_mbr(entries) -> MBR:
+    """Tightest MBR covering an iterable of leaf or child entries."""
+    entries = list(entries)
+    if not entries:
+        raise ValueError("cannot compute the MBR of zero entries")
+    if isinstance(entries[0], LeafEntry):
+        points = np.vstack([e.point for e in entries])
+        return MBR.from_points(points)
+    return MBR.union_of(e.mbr for e in entries)

@@ -1,0 +1,97 @@
+"""R*-tree insertion criteria.
+
+The functions here implement the subtree-choice and forced-reinsertion
+policies of the R*-tree [BKSS90], which the paper uses to index the data
+set ``P``.  The actual tree plumbing (root replacement, overflow
+handling) lives in :mod:`repro.rtree.tree`; this module only encodes the
+selection heuristics so they can be unit-tested in isolation.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.mbr import MBR
+from repro.rtree.node import Node
+
+#: Fraction of the entries removed and re-inserted on the first overflow
+#: of a node at each level (the value recommended by [BKSS90]).
+REINSERT_FRACTION = 0.3
+
+
+def choose_subtree(node: Node, new_mbr: MBR):
+    """Return the child entry of ``node`` best suited to receive ``new_mbr``.
+
+    Follows the R* policy: when the children are leaves, minimise the
+    *overlap* enlargement (ties broken by area enlargement, then by
+    area); otherwise minimise the area enlargement (ties broken by area).
+    """
+    entries = node.entries
+    if not entries:
+        raise ValueError("cannot choose a subtree in an empty node")
+    children_are_leaves = entries[0].child.is_leaf
+
+    if children_are_leaves:
+        best = None
+        best_key = None
+        for entry in entries:
+            enlarged = entry.mbr.union(new_mbr)
+            overlap_before = _total_overlap(entry.mbr, entries, exclude=entry)
+            overlap_after = _total_overlap(enlarged, entries, exclude=entry)
+            key = (
+                overlap_after - overlap_before,
+                enlarged.area() - entry.mbr.area(),
+                entry.mbr.area(),
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best = entry
+        return best
+
+    best = None
+    best_key = None
+    for entry in entries:
+        enlargement = entry.mbr.union(new_mbr).area() - entry.mbr.area()
+        key = (enlargement, entry.mbr.area())
+        if best_key is None or key < best_key:
+            best_key = key
+            best = entry
+    return best
+
+
+def reinsert_candidates(node: Node, node_mbr: MBR, count: int | None = None):
+    """Select the entries to remove for forced re-insertion.
+
+    The R* policy removes the ``REINSERT_FRACTION`` of entries whose
+    centres lie farthest from the centre of the node's MBR, re-inserting
+    them starting with the closest of the removed set.
+
+    Returns
+    -------
+    tuple(list, list)
+        ``(kept_entries, reinsert_entries)`` — the re-insert list is
+        ordered closest-first, as prescribed by [BKSS90].
+    """
+    entries = list(node.entries)
+    if count is None:
+        count = max(1, int(round(REINSERT_FRACTION * len(entries))))
+    center = node_mbr.center
+
+    def distance_to_center(entry):
+        entry_center = entry.mbr.center
+        delta = entry_center - center
+        return float((delta * delta).sum())
+
+    ordered = sorted(entries, key=distance_to_center)
+    kept = ordered[: len(entries) - count]
+    reinsert = ordered[len(entries) - count :]
+    reinsert.sort(key=distance_to_center)
+    return kept, reinsert
+
+
+def _total_overlap(mbr: MBR, entries, exclude) -> float:
+    """Sum of overlap areas between ``mbr`` and every other entry's MBR."""
+    total = 0.0
+    for other in entries:
+        if other is exclude:
+            continue
+        total += mbr.overlap_area(other.mbr)
+    return total

@@ -1,0 +1,162 @@
+"""Node splitting strategies.
+
+Two strategies are provided:
+
+* :func:`rstar_split` — the R*-tree split of [BKSS90] (referenced by the
+  paper as the index it builds): choose the split axis by minimum total
+  margin, then the split index by minimum overlap (ties broken by area).
+* :func:`quadratic_split` — Guttman's quadratic split, kept as a simpler
+  alternative and used by tests as a cross-check.
+
+Both operate on a list of entries and return two lists, each respecting
+the minimum fill factor.
+"""
+
+from __future__ import annotations
+
+from repro.rtree.entry import entries_mbr
+
+
+def _entry_mbr(entry):
+    return entry.mbr
+
+
+def rstar_split(entries, min_fill: int):
+    """Split ``entries`` into two groups using the R* criteria.
+
+    Parameters
+    ----------
+    entries:
+        Overflowing entry list (leaf or child entries).
+    min_fill:
+        Minimum number of entries each resulting group must contain.
+
+    Returns
+    -------
+    tuple(list, list)
+        The two entry groups.
+    """
+    entries = list(entries)
+    count = len(entries)
+    if count < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {count} entries with a minimum fill of {min_fill} per group"
+        )
+    dims = _entry_mbr(entries[0]).dims
+
+    best_axis = None
+    best_axis_margin = None
+    # Choose split axis: the one whose candidate distributions have the
+    # smallest total margin.
+    for axis in range(dims):
+        margin_sum = 0.0
+        for sort_key in (_sort_by_low(axis), _sort_by_high(axis)):
+            ordered = sorted(entries, key=sort_key)
+            for split_at in range(min_fill, count - min_fill + 1):
+                left = entries_mbr(ordered[:split_at])
+                right = entries_mbr(ordered[split_at:])
+                margin_sum += left.margin() + right.margin()
+        if best_axis_margin is None or margin_sum < best_axis_margin:
+            best_axis_margin = margin_sum
+            best_axis = axis
+
+    # Choose the split index along the chosen axis: minimum overlap,
+    # ties resolved by minimum combined area.
+    best_groups = None
+    best_overlap = None
+    best_area = None
+    for sort_key in (_sort_by_low(best_axis), _sort_by_high(best_axis)):
+        ordered = sorted(entries, key=sort_key)
+        for split_at in range(min_fill, count - min_fill + 1):
+            left_entries = ordered[:split_at]
+            right_entries = ordered[split_at:]
+            left = entries_mbr(left_entries)
+            right = entries_mbr(right_entries)
+            overlap = left.overlap_area(right)
+            area = left.area() + right.area()
+            better = (
+                best_overlap is None
+                or overlap < best_overlap
+                or (overlap == best_overlap and area < best_area)
+            )
+            if better:
+                best_overlap = overlap
+                best_area = area
+                best_groups = (list(left_entries), list(right_entries))
+    return best_groups
+
+
+def quadratic_split(entries, min_fill: int):
+    """Guttman's quadratic split.
+
+    Picks the pair of entries that would waste the most area if grouped
+    together as seeds, then assigns the remaining entries to the group
+    whose MBR needs the smallest enlargement, while honouring the minimum
+    fill factor.
+    """
+    entries = list(entries)
+    count = len(entries)
+    if count < 2 * min_fill:
+        raise ValueError(
+            f"cannot split {count} entries with a minimum fill of {min_fill} per group"
+        )
+
+    # Pick seeds: the pair with maximum dead space.
+    worst_waste = -1.0
+    seeds = (0, 1)
+    for i in range(count):
+        mbr_i = _entry_mbr(entries[i])
+        for j in range(i + 1, count):
+            mbr_j = _entry_mbr(entries[j])
+            waste = mbr_i.union(mbr_j).area() - mbr_i.area() - mbr_j.area()
+            if waste > worst_waste:
+                worst_waste = waste
+                seeds = (i, j)
+
+    group_a = [entries[seeds[0]]]
+    group_b = [entries[seeds[1]]]
+    mbr_a = _entry_mbr(group_a[0])
+    mbr_b = _entry_mbr(group_b[0])
+    remaining = [e for idx, e in enumerate(entries) if idx not in seeds]
+
+    while remaining:
+        # If one group must absorb all remaining entries to reach the
+        # minimum fill, do so.
+        if len(group_a) + len(remaining) == min_fill:
+            group_a.extend(remaining)
+            remaining = []
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            group_b.extend(remaining)
+            remaining = []
+            break
+        # Pick the entry with the strongest preference for one group.
+        best_idx = None
+        best_preference = -1.0
+        best_target = None
+        for idx, entry in enumerate(remaining):
+            mbr = _entry_mbr(entry)
+            enlarge_a = mbr_a.union(mbr).area() - mbr_a.area()
+            enlarge_b = mbr_b.union(mbr).area() - mbr_b.area()
+            preference = abs(enlarge_a - enlarge_b)
+            if preference > best_preference:
+                best_preference = preference
+                best_idx = idx
+                best_target = "a" if enlarge_a < enlarge_b else "b"
+        entry = remaining.pop(best_idx)
+        mbr = _entry_mbr(entry)
+        if best_target == "a":
+            group_a.append(entry)
+            mbr_a = mbr_a.union(mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(mbr)
+    return group_a, group_b
+
+
+def _sort_by_low(axis: int):
+    return lambda entry: float(_entry_mbr(entry).low[axis])
+
+
+def _sort_by_high(axis: int):
+    return lambda entry: float(_entry_mbr(entry).high[axis])

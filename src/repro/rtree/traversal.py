@@ -1,0 +1,153 @@
+"""Nearest-neighbor traversals over a single R-tree.
+
+Three search primitives are provided, mirroring Section 2 of the paper:
+
+* :func:`depth_first_nearest` — the DF algorithm of [RKV95],
+* :func:`best_first_nearest` — the I/O-optimal BF algorithm of [HS99],
+* :func:`incremental_nearest` / :func:`incremental_nearest_generic` —
+  the incremental ("distance browsing") variant of BF that reports
+  neighbors in ascending distance without knowing ``k`` in advance.
+  MQM and F-MQM rely on incrementality because their termination
+  condition is only discovered while consuming the stream.
+
+The generic variant accepts arbitrary lower-bound/key functions so the
+same machinery can rank nodes by ``mindist`` to a point (conventional
+NN), to a centroid (SPM), to a query MBR (MBM), or by the aggregate
+group distance (the incremental group-NN stream used by F-MQM).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.mbr import MBR
+from repro.geometry.point import as_point
+from repro.rtree.tree import RTree
+
+
+class Neighbor:
+    """A single nearest-neighbor result."""
+
+    __slots__ = ("record_id", "point", "distance")
+
+    def __init__(self, record_id: int, point: np.ndarray, distance: float):
+        self.record_id = int(record_id)
+        self.point = point
+        self.distance = float(distance)
+
+    def as_tuple(self) -> tuple[int, float]:
+        """Return ``(record_id, distance)`` for compact comparisons in tests."""
+        return (self.record_id, self.distance)
+
+    def __repr__(self) -> str:
+        return f"Neighbor(id={self.record_id}, distance={self.distance:.6g})"
+
+
+def incremental_nearest_generic(
+    tree: RTree,
+    node_key: Callable[[MBR], float],
+    point_key: Callable[[np.ndarray], float],
+) -> Iterator[Neighbor]:
+    """Yield every indexed point in ascending order of ``point_key``.
+
+    ``node_key(mbr)`` must lower-bound ``point_key(p)`` for every point
+    ``p`` inside ``mbr`` — exactly the property that makes best-first
+    search correct.  Node reads are charged to ``tree.stats``.
+    """
+    if len(tree) == 0:
+        return
+    counter = itertools.count()
+    heap: list[tuple[float, int, str, object]] = []
+    root_bound = node_key(tree.root.compute_mbr())
+    heapq.heappush(heap, (root_bound, next(counter), "node", tree.root))
+
+    while heap:
+        key, _, kind, payload = heapq.heappop(heap)
+        if kind == "point":
+            record_id, point = payload
+            yield Neighbor(record_id, point, key)
+            continue
+        node = tree.read_node(payload)
+        if node.is_leaf:
+            for entry in node.entries:
+                value = point_key(entry.point)
+                heapq.heappush(
+                    heap, (value, next(counter), "point", (entry.record_id, entry.point))
+                )
+        else:
+            for entry in node.entries:
+                bound = node_key(entry.mbr)
+                heapq.heappush(heap, (bound, next(counter), "node", entry.child))
+
+
+def incremental_nearest(tree: RTree, query: Sequence[float]) -> Iterator[Neighbor]:
+    """Yield indexed points in ascending Euclidean distance from ``query``."""
+    q = as_point(query, dims=tree.dims)
+
+    def node_key(mbr: MBR) -> float:
+        return mbr.mindist_point(q)
+
+    def point_key(point: np.ndarray) -> float:
+        delta = point - q
+        return float(np.sqrt(np.dot(delta, delta)))
+
+    return incremental_nearest_generic(tree, node_key, point_key)
+
+
+def best_first_nearest(tree: RTree, query: Sequence[float], k: int = 1) -> list[Neighbor]:
+    """Return the ``k`` nearest neighbors of ``query`` using best-first search."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    results: list[Neighbor] = []
+    for neighbor in incremental_nearest(tree, query):
+        results.append(neighbor)
+        if len(results) == k:
+            break
+    return results
+
+
+def depth_first_nearest(tree: RTree, query: Sequence[float], k: int = 1) -> list[Neighbor]:
+    """Return the ``k`` nearest neighbors of ``query`` using depth-first search.
+
+    This is the branch-and-bound DF algorithm of [RKV95]: children are
+    visited in ascending ``mindist`` order and subtrees whose ``mindist``
+    exceeds the current k-th best distance are pruned.  It is included
+    both as a baseline and because SPM/MBM admit DF implementations.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    q = as_point(query, dims=tree.dims)
+    if len(tree) == 0:
+        return []
+
+    best: list[tuple[float, int, np.ndarray]] = []  # max-heap emulated with negated dist
+
+    def kth_distance() -> float:
+        if len(best) < k:
+            return float("inf")
+        return -best[0][0]
+
+    def visit(node) -> None:
+        node = tree.read_node(node)
+        if node.is_leaf:
+            for entry in node.entries:
+                delta = entry.point - q
+                dist = float(np.sqrt(np.dot(delta, delta)))
+                if dist < kth_distance():
+                    heapq.heappush(best, (-dist, entry.record_id, entry.point))
+                    if len(best) > k:
+                        heapq.heappop(best)
+            return
+        ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_point(q))
+        for entry in ranked:
+            if entry.mbr.mindist_point(q) >= kth_distance():
+                break
+            visit(entry.child)
+
+    visit(tree.root)
+    ordered = sorted(best, key=lambda item: -item[0])
+    return [Neighbor(record_id, point, -neg) for neg, record_id, point in ordered]

@@ -1,0 +1,23 @@
+"""Disk simulation: page I/O accounting, an LRU buffer and paged point files.
+
+The paper's disk-resident algorithms (Section 4) assume the query set
+``Q`` lives on disk, Hilbert-sorted and read in memory-sized blocks.  No
+real disk is involved in this reproduction; instead the classes here
+model pages and blocks explicitly and count every read, so the
+experiments can report I/O alongside R-tree node accesses.
+"""
+
+from repro.storage.buffer import LRUBuffer
+from repro.storage.counters import IOCounters
+from repro.storage.pager import Page, Pager
+from repro.storage.pointfile import BlockSummary, PointFile, QueryBlock
+
+__all__ = [
+    "BlockSummary",
+    "IOCounters",
+    "LRUBuffer",
+    "Page",
+    "Pager",
+    "PointFile",
+    "QueryBlock",
+]

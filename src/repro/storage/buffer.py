@@ -1,0 +1,70 @@
+"""A least-recently-used page buffer.
+
+The paper notes that MQM "benefits from the existence of an LRU buffer"
+because successive per-query-point NN searches revisit the same R-tree
+nodes.  Attaching an :class:`LRUBuffer` to an
+:class:`~repro.rtree.tree.RTree` makes the tree report both logical node
+accesses and buffer misses (page faults), so that effect can be
+reproduced and measured.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUBuffer:
+    """Fixed-capacity LRU cache of page identifiers.
+
+    The buffer stores only identifiers — the simulated pages have no
+    payload to cache — which is all that is needed to decide hit/miss.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least one page")
+        self.capacity = int(capacity)
+        self._pages: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self._pages
+
+    def access(self, page_id: int) -> bool:
+        """Touch ``page_id``; return True on a buffer hit, False on a fault.
+
+        A miss loads the page, evicting the least recently used page when
+        the buffer is full.
+        """
+        if page_id in self._pages:
+            self._pages.move_to_end(page_id)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page_id] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    def clear(self) -> None:
+        """Drop every cached page and zero the hit/miss counters."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def hit_ratio(self) -> float:
+        """Fraction of accesses that hit the buffer (0.0 when never accessed)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUBuffer(capacity={self.capacity}, resident={len(self._pages)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,54 @@
+"""I/O counters for the simulated disk."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class IOCounters:
+    """Counts page and block reads against the simulated query file.
+
+    Attributes
+    ----------
+    page_reads:
+        Individual pages fetched from the simulated disk.
+    block_reads:
+        Memory-sized blocks of the query file loaded (each block is a
+        group ``Q_i`` in the terminology of Sections 4.2-4.3).
+    sort_passes:
+        External-sort passes performed over the file (the paper excludes
+        sorting from the reported cost, but the counter is kept so the
+        harness can verify that exclusion explicitly).
+    """
+
+    page_reads: int = 0
+    block_reads: int = 0
+    sort_passes: int = 0
+
+    def record_page_reads(self, count: int = 1) -> None:
+        """Charge ``count`` page reads."""
+        self.page_reads += count
+
+    def record_block_read(self, pages_in_block: int) -> None:
+        """Charge one block read consisting of ``pages_in_block`` pages."""
+        self.block_reads += 1
+        self.page_reads += pages_in_block
+
+    def record_sort_pass(self) -> None:
+        """Charge one external-sort pass."""
+        self.sort_passes += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "page_reads": self.page_reads,
+            "block_reads": self.block_reads,
+            "sort_passes": self.sort_passes,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.block_reads = 0
+        self.sort_passes = 0

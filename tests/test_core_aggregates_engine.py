@@ -1,0 +1,150 @@
+"""Tests for repro.core.aggregates and the GNNEngine facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregates import aggregate_gnn, group_nn_stream
+from repro.core.bruteforce import brute_force_gnn
+from repro.core.engine import GNNEngine
+from repro.core.types import GroupQuery
+
+
+class TestGroupNNStream:
+    def test_stream_yields_ascending_group_distances(self, small_tree, rng):
+        group = rng.uniform(200, 800, size=(6, 2))
+        stream = group_nn_stream(small_tree, GroupQuery(group))
+        distances = [next(stream).distance for _ in range(25)]
+        assert distances == sorted(distances)
+
+    def test_stream_prefix_matches_brute_force(self, small_tree, small_points, rng):
+        group = rng.uniform(200, 800, size=(5, 2))
+        stream = group_nn_stream(small_tree, GroupQuery(group))
+        prefix = [next(stream) for _ in range(10)]
+        expected = brute_force_gnn(small_points, GroupQuery(group, k=10))
+        assert [n.distance for n in prefix] == pytest.approx(expected.distances())
+
+    def test_stream_enumerates_whole_dataset(self, small_tree, small_points, rng):
+        group = rng.uniform(0, 1000, size=(3, 2))
+        stream = group_nn_stream(small_tree, GroupQuery(group))
+        assert len(list(stream)) == len(small_points)
+
+
+class TestAggregateGNN:
+    @pytest.mark.parametrize("aggregate", ["sum", "max", "min"])
+    def test_matches_brute_force(self, small_tree, small_points, rng, aggregate):
+        group = rng.uniform(100, 900, size=(7, 2))
+        query = GroupQuery(group, k=5, aggregate=aggregate)
+        result = aggregate_gnn(small_tree, query)
+        expected = brute_force_gnn(small_points, GroupQuery(group, k=5, aggregate=aggregate))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_weighted_sum_matches_brute_force(self, small_tree, small_points, rng):
+        group = rng.uniform(100, 900, size=(4, 2))
+        weights = rng.uniform(0.2, 5.0, size=4)
+        query = GroupQuery(group, k=3, weights=weights)
+        result = aggregate_gnn(small_tree, query)
+        expected = brute_force_gnn(
+            small_points, GroupQuery(group, k=3, weights=weights)
+        )
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_cost_algorithm_label_mentions_aggregate(self, small_tree, rng):
+        group = rng.uniform(100, 900, size=(3, 2))
+        result = aggregate_gnn(small_tree, GroupQuery(group, aggregate="max"))
+        assert "max" in result.cost.algorithm
+
+
+class TestEngineMemoryQueries:
+    def test_auto_uses_mbm_for_sum(self, engine, rng):
+        result = engine.query(rng.uniform(200, 800, size=(5, 2)), k=2)
+        assert result.cost.algorithm.startswith("MBM")
+
+    def test_auto_uses_best_first_for_other_aggregates(self, engine, rng):
+        result = engine.query(rng.uniform(200, 800, size=(5, 2)), k=2, aggregate="max")
+        assert "best-first" in result.cost.algorithm
+
+    @pytest.mark.parametrize("algorithm", ["mqm", "spm", "mbm", "best-first", "brute-force"])
+    def test_every_algorithm_gives_the_same_answer(self, engine, rng, algorithm):
+        group = rng.uniform(100, 900, size=(8, 2))
+        reference = engine.query(group, k=4, algorithm="brute-force")
+        result = engine.query(group, k=4, algorithm=algorithm)
+        assert result.distances() == pytest.approx(reference.distances())
+
+    def test_unknown_algorithm_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.query([[0.0, 0.0]], algorithm="quantum")
+
+    def test_options_are_forwarded(self, engine, rng):
+        group = rng.uniform(100, 900, size=(6, 2))
+        result = engine.query(group, k=2, algorithm="spm", traversal="depth_first")
+        assert "depth_first" in result.cost.algorithm
+
+    def test_engine_length(self, engine, small_points):
+        assert len(engine) == len(small_points)
+
+
+class TestEngineDiskQueries:
+    def test_auto_prefers_fmqm_for_few_blocks(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(200, 2))
+        result = engine.query_disk(queries, k=2, block_pages=10)
+        assert result.cost.algorithm == "F-MQM"
+
+    def test_auto_prefers_fmbm_for_many_blocks(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(600, 2))
+        result = engine.query_disk(queries, k=2, block_pages=1, points_per_page=50)
+        assert result.cost.algorithm == "F-MBM"
+
+    @pytest.mark.parametrize("algorithm", ["fmqm", "fmbm", "gcp"])
+    def test_disk_algorithms_agree_with_memory_result(self, engine, rng, algorithm):
+        queries = rng.uniform(300, 700, size=(150, 2))
+        memory = engine.query(queries, k=3, algorithm="brute-force")
+        disk = engine.query_disk(queries, k=3, algorithm=algorithm, block_pages=2)
+        assert disk.distances() == pytest.approx(memory.distances())
+
+    def test_existing_query_file_can_be_passed(self, engine, rng):
+        from repro.storage.pointfile import PointFile
+
+        queries = rng.uniform(300, 700, size=(120, 2))
+        query_file = PointFile(queries, points_per_page=20, block_pages=2)
+        result = engine.query_disk(query_file=query_file, k=1, algorithm="fmbm")
+        reference = engine.query(queries, k=1, algorithm="brute-force")
+        assert result.distances() == pytest.approx(reference.distances())
+
+    def test_missing_input_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.query_disk(algorithm="fmbm")
+
+    def test_gcp_requires_raw_points(self, engine, rng):
+        from repro.storage.pointfile import PointFile
+
+        queries = rng.uniform(300, 700, size=(60, 2))
+        with pytest.raises(ValueError):
+            engine.query_disk(
+                query_file=PointFile(queries, points_per_page=20, block_pages=2),
+                algorithm="gcp",
+            )
+
+    def test_unknown_disk_algorithm_rejected(self, engine, rng):
+        with pytest.raises(ValueError):
+            engine.query_disk(rng.uniform(0, 1, size=(10, 2)), algorithm="hash-join")
+
+
+class TestEngineMaintenance:
+    def test_insert_extends_the_dataset(self, small_points):
+        engine = GNNEngine(small_points[:100], capacity=8)
+        new_id = engine.insert([123.0, 456.0])
+        assert new_id == 100
+        assert len(engine) == 101
+        # The new point must be findable as the best neighbor of a query
+        # group sitting right on top of it.
+        result = engine.query(np.array([[123.0, 456.0], [123.5, 456.5]]), k=1)
+        assert result.best.record_id == 100
+
+    def test_buffer_pages_enable_page_fault_accounting(self, small_points, rng):
+        engine = GNNEngine(small_points, capacity=8, buffer_pages=10_000)
+        group = rng.uniform(200, 800, size=(8, 2))
+        engine.query(group, k=2)
+        second = engine.query(group, k=2)
+        # Second identical query hits the warm buffer: no new page faults.
+        assert second.cost.page_faults == 0
+        assert second.cost.node_accesses > 0

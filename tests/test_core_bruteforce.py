@@ -1,0 +1,89 @@
+"""Tests for repro.core.bruteforce (the ground-truth baseline itself)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_gnn, brute_force_over_tree
+from repro.core.types import GroupQuery
+from repro.geometry.distance import group_distance
+from repro.rtree.tree import RTree
+
+
+class TestBruteForce:
+    def test_single_nn_on_tiny_example(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 1.0]])
+        query = GroupQuery([[0.0, 0.0], [10.0, 0.0]], k=1)
+        result = brute_force_gnn(points, query)
+        # The middle point has summed distance ~10.2; each endpoint has 10.0.
+        assert result.best.record_id in (0, 1)
+        assert result.best.distance == pytest.approx(10.0)
+
+    def test_k_results_are_sorted_and_distinct(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 100, size=(200, 2))
+        query = GroupQuery(rng.uniform(0, 100, size=(5, 2)), k=10)
+        result = brute_force_gnn(points, query)
+        distances = result.distances()
+        assert distances == sorted(distances)
+        assert len(set(result.record_ids())) == 10
+
+    def test_distances_match_direct_recomputation(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 100, size=(50, 2))
+        group = rng.uniform(0, 100, size=(4, 2))
+        result = brute_force_gnn(points, GroupQuery(group, k=3))
+        for neighbor in result.neighbors:
+            assert neighbor.distance == pytest.approx(
+                group_distance(points[neighbor.record_id], group)
+            )
+
+    def test_k_larger_than_dataset_is_clamped(self):
+        points = np.random.default_rng(2).uniform(0, 10, size=(5, 2))
+        result = brute_force_gnn(points, GroupQuery([[1.0, 1.0]], k=50))
+        assert len(result.neighbors) == 5
+
+    def test_max_aggregate(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 10.0]])
+        group = np.array([[0.0, 0.0], [10.0, 10.0]])
+        result = brute_force_gnn(points, GroupQuery(group, k=1, aggregate="max"))
+        # The centre point minimises the maximum distance to the two corners.
+        assert result.best.record_id == 1
+
+    def test_min_aggregate(self):
+        points = np.array([[0.0, 0.0], [5.0, 5.0], [100.0, 100.0]])
+        group = np.array([[99.0, 99.0]])
+        result = brute_force_gnn(points, GroupQuery(group, k=1, aggregate="min"))
+        assert result.best.record_id == 2
+
+    def test_weighted_query(self):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        group = np.array([[0.0, 0.0], [10.0, 0.0]])
+        # With a heavy weight on the first query point, the best data point is
+        # the one sitting on it.
+        result = brute_force_gnn(
+            points, GroupQuery(group, k=1, weights=np.array([10.0, 1.0]))
+        )
+        assert result.best.record_id == 0
+
+    def test_cost_records_distance_computations(self):
+        points = np.random.default_rng(3).uniform(0, 1, size=(30, 2))
+        query = GroupQuery(np.random.default_rng(4).uniform(0, 1, size=(6, 2)), k=1)
+        result = brute_force_gnn(points, query)
+        assert result.cost.distance_computations == 30 * 6
+        assert result.cost.algorithm == "brute-force"
+
+
+class TestBruteForceOverTree:
+    def test_matches_array_based_brute_force(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 100, size=(150, 2))
+        tree = RTree.bulk_load(points, capacity=8)
+        query = GroupQuery(rng.uniform(0, 100, size=(6, 2)), k=5)
+        from_tree = brute_force_over_tree(tree, query)
+        from_array = brute_force_gnn(points, query)
+        assert from_tree.distances() == pytest.approx(from_array.distances())
+        assert from_tree.record_ids() == from_array.record_ids()
+
+    def test_empty_tree_gives_empty_result(self):
+        result = brute_force_over_tree(RTree(), GroupQuery([[0.0, 0.0]], k=3))
+        assert result.neighbors == []

@@ -1,0 +1,97 @@
+"""Tests for repro.core.centroid."""
+
+import numpy as np
+import pytest
+
+from repro.core.centroid import (
+    arithmetic_mean,
+    compute_centroid,
+    gradient_descent_centroid,
+    weiszfeld_centroid,
+)
+from repro.geometry.distance import group_distance
+
+
+@pytest.fixture
+def triangle():
+    return np.array([[0.0, 0.0], [10.0, 0.0], [5.0, 8.0]])
+
+
+class TestArithmeticMean:
+    def test_mean_of_symmetric_points(self):
+        points = np.array([[0.0, 0.0], [2.0, 0.0], [0.0, 2.0], [2.0, 2.0]])
+        assert arithmetic_mean(points).tolist() == [1.0, 1.0]
+
+
+class TestGeometricMedianMethods:
+    @pytest.mark.parametrize("method", [gradient_descent_centroid, weiszfeld_centroid])
+    def test_single_point_returns_that_point(self, method):
+        point = np.array([[3.0, 4.0]])
+        assert method(point).tolist() == [3.0, 4.0]
+
+    @pytest.mark.parametrize("method", [gradient_descent_centroid, weiszfeld_centroid])
+    def test_two_points_median_lies_on_segment(self, method):
+        points = np.array([[0.0, 0.0], [10.0, 0.0]])
+        centroid = method(points)
+        # Any point on the segment minimises the summed distance (=10).
+        assert group_distance(centroid, points) == pytest.approx(10.0, abs=1e-3)
+
+    @pytest.mark.parametrize("method", [gradient_descent_centroid, weiszfeld_centroid])
+    def test_identical_points_return_that_location(self, method):
+        points = np.tile([2.0, 7.0], (6, 1))
+        assert np.allclose(method(points), [2.0, 7.0])
+
+    @pytest.mark.parametrize("method", [gradient_descent_centroid, weiszfeld_centroid])
+    def test_median_not_worse_than_mean(self, method, triangle):
+        # The approximated geometric median must achieve a summed distance no
+        # worse than the arithmetic mean it starts from.
+        centroid = method(triangle)
+        assert group_distance(centroid, triangle) <= group_distance(
+            arithmetic_mean(triangle), triangle
+        ) + 1e-9
+
+    @pytest.mark.parametrize("method", [gradient_descent_centroid, weiszfeld_centroid])
+    def test_known_geometric_median_of_right_triangle(self, method):
+        # For a 3-4-5 style configuration with an obtuse-enough vertex the
+        # geometric median coincides with that vertex, but for a symmetric
+        # equilateral triangle it is the centroid.  Use the equilateral case,
+        # whose optimum is known analytically.
+        side = 2.0
+        points = np.array(
+            [[0.0, 0.0], [side, 0.0], [side / 2, side * np.sqrt(3) / 2]]
+        )
+        expected = points.mean(axis=0)
+        assert np.allclose(method(points), expected, atol=1e-2)
+
+    def test_weiszfeld_close_to_gradient_descent(self, triangle):
+        gd = gradient_descent_centroid(triangle)
+        wf = weiszfeld_centroid(triangle)
+        assert group_distance(gd, triangle) == pytest.approx(
+            group_distance(wf, triangle), rel=1e-3
+        )
+
+    def test_random_configurations_beat_random_probes(self):
+        # The approximate median should beat a large sample of random
+        # candidate locations, otherwise the approximation is poor.
+        rng = np.random.default_rng(9)
+        for _ in range(5):
+            points = rng.uniform(0, 100, size=(12, 2))
+            centroid = weiszfeld_centroid(points)
+            value = group_distance(centroid, points)
+            probes = rng.uniform(0, 100, size=(200, 2))
+            probe_best = min(group_distance(p, points) for p in probes)
+            assert value <= probe_best + 1e-6
+
+
+class TestComputeCentroid:
+    def test_dispatches_by_name(self, triangle):
+        assert np.allclose(compute_centroid(triangle, method="mean"), triangle.mean(axis=0))
+        gradient = compute_centroid(triangle, method="gradient")
+        weiszfeld = compute_centroid(triangle, method="weiszfeld")
+        assert group_distance(gradient, triangle) == pytest.approx(
+            group_distance(weiszfeld, triangle), rel=1e-3
+        )
+
+    def test_unknown_method_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            compute_centroid(triangle, method="newton")

@@ -1,0 +1,183 @@
+"""Correctness tests for the disk-resident algorithms: GCP, F-MQM, F-MBM."""
+
+import numpy as np
+import pytest
+
+from repro.core.bruteforce import brute_force_gnn
+from repro.core.fmbm import fmbm
+from repro.core.fmqm import fmqm
+from repro.core.gcp import gcp
+from repro.core.types import GroupQuery
+from repro.rtree.tree import RTree
+from repro.storage.pointfile import PointFile
+
+
+@pytest.fixture(scope="module")
+def disk_setup():
+    """A data tree plus two disk-resident query sets (clustered and spread)."""
+    rng = np.random.default_rng(99)
+    data = rng.uniform(0, 1000, size=(800, 2))
+    tree = RTree.bulk_load(data, capacity=16)
+    clustered_queries = rng.uniform(420, 560, size=(300, 2))
+    spread_queries = rng.uniform(0, 1000, size=(300, 2))
+    return data, tree, clustered_queries, spread_queries
+
+
+def _query_file(points, block_points=64):
+    return PointFile(points, points_per_page=16, block_pages=block_points // 16)
+
+
+class TestGCP:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute_force_clustered_queries(self, disk_setup, k):
+        data, tree, clustered, _ = disk_setup
+        query_tree = RTree.bulk_load(clustered, capacity=16)
+        result = gcp(tree, query_tree, k=k)
+        expected = brute_force_gnn(data, GroupQuery(clustered, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_matches_brute_force_spread_queries(self, disk_setup):
+        data, tree, _, spread = disk_setup
+        query_tree = RTree.bulk_load(spread, capacity=16)
+        result = gcp(tree, query_tree, k=2)
+        expected = brute_force_gnn(data, GroupQuery(spread, k=2))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_invalid_k_rejected(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        with pytest.raises(ValueError):
+            gcp(tree, RTree.bulk_load(clustered), k=0)
+
+    def test_empty_query_tree(self, disk_setup):
+        _, tree, _, _ = disk_setup
+        assert gcp(tree, RTree(), k=1).neighbors == []
+
+    def test_pair_cap_marks_result_as_aborted(self, disk_setup):
+        _, tree, _, spread = disk_setup
+        query_tree = RTree.bulk_load(spread, capacity=16)
+        result = gcp(tree, query_tree, k=1, max_pairs=100)
+        assert "aborted" in result.cost.algorithm
+
+    def test_charges_node_accesses_on_both_trees(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        query_tree = RTree.bulk_load(clustered, capacity=16)
+        tree.reset_stats()
+        result = gcp(tree, query_tree, k=1)
+        # The tracker reports the union of both trees' accesses.
+        assert result.cost.node_accesses > tree.stats.node_accesses
+        assert tree.stats.node_accesses > 0
+
+    def test_small_exhaustive_case(self):
+        # A case small enough that the stream is fully enumerable by hand.
+        data = np.array([[0.0, 0.0], [5.0, 5.0], [10.0, 10.0], [2.0, 8.0]])
+        queries = np.array([[1.0, 1.0], [9.0, 9.0]])
+        tree = RTree.bulk_load(data, capacity=4)
+        query_tree = RTree.bulk_load(queries, capacity=4)
+        result = gcp(tree, query_tree, k=4)
+        expected = brute_force_gnn(data, GroupQuery(queries, k=4))
+        assert result.distances() == pytest.approx(expected.distances())
+
+
+class TestFMQM:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute_force_clustered_queries(self, disk_setup, k):
+        data, tree, clustered, _ = disk_setup
+        result = fmqm(tree, _query_file(clustered), k=k)
+        expected = brute_force_gnn(data, GroupQuery(clustered, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute_force_spread_queries(self, disk_setup, k):
+        data, tree, _, spread = disk_setup
+        result = fmqm(tree, _query_file(spread), k=k)
+        expected = brute_force_gnn(data, GroupQuery(spread, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_single_block_degenerates_to_group_search(self, disk_setup):
+        data, tree, clustered, _ = disk_setup
+        single_block = PointFile(clustered, points_per_page=50, block_pages=100)
+        assert single_block.block_count == 1
+        result = fmqm(tree, single_block, k=3)
+        expected = brute_force_gnn(data, GroupQuery(clustered, k=3))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_block_reads_are_charged(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        query_file = _query_file(clustered)
+        result = fmqm(tree, query_file, k=1)
+        assert result.cost.block_reads > 0
+        assert result.cost.page_reads > 0
+
+    def test_invalid_k_rejected(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        with pytest.raises(ValueError):
+            fmqm(tree, _query_file(clustered), k=0)
+
+    def test_empty_tree(self, disk_setup):
+        _, _, clustered, _ = disk_setup
+        assert fmqm(RTree(), _query_file(clustered), k=1).neighbors == []
+
+
+class TestFMBM:
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute_force_clustered_queries(self, disk_setup, k):
+        data, tree, clustered, _ = disk_setup
+        result = fmbm(tree, _query_file(clustered), k=k)
+        expected = brute_force_gnn(data, GroupQuery(clustered, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_matches_brute_force_spread_queries(self, disk_setup, k):
+        data, tree, _, spread = disk_setup
+        result = fmbm(tree, _query_file(spread), k=k)
+        expected = brute_force_gnn(data, GroupQuery(spread, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    @pytest.mark.parametrize("k", [1, 4])
+    def test_depth_first_matches_brute_force(self, disk_setup, k):
+        data, tree, clustered, _ = disk_setup
+        result = fmbm(tree, _query_file(clustered), k=k, traversal="depth_first")
+        expected = brute_force_gnn(data, GroupQuery(clustered, k=k))
+        assert result.distances() == pytest.approx(expected.distances())
+
+    def test_unknown_traversal_rejected(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        with pytest.raises(ValueError):
+            fmbm(tree, _query_file(clustered), traversal="zigzag")
+
+    def test_summary_scan_can_be_charged(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        uncharged = fmbm(tree, _query_file(clustered), k=1)
+        charged = fmbm(tree, _query_file(clustered), k=1, charge_summary_scan=True)
+        assert charged.cost.block_reads >= uncharged.cost.block_reads
+
+    def test_invalid_k_rejected(self, disk_setup):
+        _, tree, clustered, _ = disk_setup
+        with pytest.raises(ValueError):
+            fmbm(tree, _query_file(clustered), k=-1)
+
+    def test_empty_query_file_not_possible_but_empty_tree_is(self, disk_setup):
+        _, _, clustered, _ = disk_setup
+        assert fmbm(RTree(), _query_file(clustered), k=1).neighbors == []
+
+
+class TestDiskAlgorithmAgreement:
+    def test_all_three_agree_on_the_same_input(self, disk_setup):
+        data, tree, clustered, _ = disk_setup
+        k = 5
+        fmqm_result = fmqm(tree, _query_file(clustered), k=k)
+        fmbm_result = fmbm(tree, _query_file(clustered), k=k)
+        gcp_result = gcp(tree, RTree.bulk_load(clustered, capacity=16), k=k)
+        assert fmqm_result.distances() == pytest.approx(fmbm_result.distances())
+        assert fmqm_result.distances() == pytest.approx(gcp_result.distances())
+
+    def test_disk_algorithms_agree_with_memory_mbm(self, disk_setup):
+        # When the query set happens to fit in memory, the disk algorithms
+        # must return exactly what MBM returns.
+        from repro.core.mbm import mbm
+
+        data, tree, clustered, _ = disk_setup
+        subset = clustered[:80]
+        memory = mbm(tree, GroupQuery(subset, k=3))
+        disk = fmbm(tree, _query_file(subset), k=3)
+        assert memory.distances() == pytest.approx(disk.distances())

@@ -1,0 +1,207 @@
+"""Tests for repro.core.heuristics: the paper's pruning rules 1-6 and Lemma 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristics import (
+    gcp_candidate_threshold,
+    heuristic1_prunes_node,
+    heuristic1_prunes_point,
+    heuristic2_prunes,
+    heuristic3_prunes,
+    heuristic3_prunes_precomputed,
+    heuristic4_prunes,
+    heuristic5_prunes,
+    heuristic6_prunes,
+    lemma1_lower_bound,
+    weighted_mindist,
+)
+from repro.geometry.distance import group_distance
+from repro.geometry.mbr import MBR
+from repro.storage.pointfile import BlockSummary
+
+
+class TestLemma1:
+    def test_lower_bound_never_exceeds_true_distance(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            group = rng.uniform(0, 100, size=(rng.integers(1, 10), 2))
+            p = rng.uniform(-50, 150, size=2)
+            q = rng.uniform(-50, 150, size=2)
+            bound = lemma1_lower_bound(p, q, group)
+            assert group_distance(p, group) >= bound - 1e-9
+
+    def test_bound_is_tight_when_p_equals_q(self):
+        group = np.array([[0.0, 0.0], [2.0, 0.0]])
+        q = np.array([1.0, 0.0])
+        assert lemma1_lower_bound(q, q, group) == pytest.approx(
+            2 * 0.0 - group_distance(q, group)
+        )
+
+    def test_reference_distance_can_be_cached(self):
+        group = np.array([[0.0, 0.0], [4.0, 0.0]])
+        q = np.array([2.0, 0.0])
+        cached = lemma1_lower_bound([10.0, 0.0], q, group, reference_distance=4.0)
+        uncached = lemma1_lower_bound([10.0, 0.0], q, group)
+        assert cached == pytest.approx(uncached)
+
+
+class TestHeuristic1:
+    def test_example_from_figure_3_3(self):
+        # Figure 3.3: best_dist = 5+4 = 9, dist(q, Q) = 1+2 = 3, n = 2, so the
+        # pruning bound on mindist(N, q) is (9+3)/2 = 6; both example nodes
+        # (at mindist 6 and 7) are pruned.
+        assert heuristic1_prunes_node(6.0, 9.0, 3.0, 2)
+        assert heuristic1_prunes_node(7.0, 9.0, 3.0, 2)
+        assert not heuristic1_prunes_node(5.9, 9.0, 3.0, 2)
+
+    def test_point_variant_matches_node_variant(self):
+        assert heuristic1_prunes_point(6.0, 9.0, 3.0, 2) == heuristic1_prunes_node(
+            6.0, 9.0, 3.0, 2
+        )
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(ValueError):
+            heuristic1_prunes_node(1.0, 1.0, 1.0, 0)
+
+    def test_never_prunes_a_point_better_than_best(self):
+        # Soundness: if pruning triggers, the true distance cannot beat best.
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            group = rng.uniform(0, 100, size=(rng.integers(1, 8), 2))
+            q = rng.uniform(0, 100, size=2)
+            p = rng.uniform(0, 100, size=2)
+            best = rng.uniform(0, 400)
+            dist_q_group = group_distance(q, group)
+            if heuristic1_prunes_point(
+                float(np.linalg.norm(p - q)), best, dist_q_group, len(group)
+            ):
+                assert group_distance(p, group) >= best - 1e-9
+
+
+class TestHeuristics2And3:
+    def test_example_from_figure_3_5(self):
+        # Figure 3.5: best_dist = 5, n = 2.  N1 has mindist(N1, M) = 3 which
+        # reaches 5/2, so Heuristic 2 prunes it; N2 has mindist 2 and is not
+        # pruned by Heuristic 2 but its per-point mindists sum to 6 >= 5, so
+        # Heuristic 3 prunes it.
+        assert heuristic2_prunes(3.0, 5.0, 2)
+        assert not heuristic2_prunes(2.0, 5.0, 2)
+        assert heuristic3_prunes_precomputed(6.0, 5.0)
+
+    def test_heuristic3_with_real_geometry(self):
+        node = MBR([10.0, 10.0], [12.0, 12.0])
+        query_points = np.array([[0.0, 0.0], [0.0, 20.0]])
+        summed = float(node.mindist_points(query_points).sum())
+        assert heuristic3_prunes(node, query_points, summed - 0.1)
+        assert not heuristic3_prunes(node, query_points, summed + 0.1)
+
+    def test_heuristic2_invalid_cardinality(self):
+        with pytest.raises(ValueError):
+            heuristic2_prunes(1.0, 1.0, 0)
+
+    def test_heuristic3_is_sound(self):
+        rng = np.random.default_rng(2)
+        for _ in range(200):
+            low = rng.uniform(0, 80, size=2)
+            node = MBR(low, low + rng.uniform(1, 20, size=2))
+            group = rng.uniform(0, 100, size=(rng.integers(1, 6), 2))
+            best = rng.uniform(0, 300)
+            if heuristic3_prunes(node, group, best):
+                probe = rng.uniform(node.low, node.high, size=(20, 2))
+                for p in probe:
+                    assert group_distance(p, group) >= best - 1e-9
+
+
+class TestHeuristic4AndThreshold:
+    def test_example_from_figure_4_1(self):
+        # Figure 4.1(a): after the pair <p2, q2> (distance 5) completes p2
+        # with best_dist = 11, candidate p3 has one pair (distance 4) and two
+        # missing distances; 2*5 + 4 = 14 >= 11, so p3 is discarded.
+        assert heuristic4_prunes(3, 1, 5.0, 4.0, 11.0)
+
+    def test_candidate_kept_when_completion_could_improve(self):
+        assert not heuristic4_prunes(3, 2, 1.0, 4.0, 11.0)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            heuristic4_prunes(2, 3, 1.0, 1.0, 1.0)
+
+    def test_threshold_from_figure_4_1(self):
+        # t1 = (11 - 4) / (3 - 2) = 7 for p1 with curr_dist 4 and 2 pairs seen.
+        assert gcp_candidate_threshold(3, 2, 4.0, 11.0) == pytest.approx(7.0)
+
+    def test_threshold_requires_incomplete_candidate(self):
+        with pytest.raises(ValueError):
+            gcp_candidate_threshold(3, 3, 4.0, 11.0)
+
+
+class TestHeuristics5And6:
+    def _summaries(self):
+        return [
+            BlockSummary(0, MBR([0.0, 0.0], [10.0, 10.0]), 2),
+            BlockSummary(1, MBR([50.0, 50.0], [60.0, 60.0]), 3),
+        ]
+
+    def test_weighted_mindist_of_node(self):
+        summaries = self._summaries()
+        node = MBR([20.0, 0.0], [30.0, 10.0])
+        expected = 2 * node.mindist_mbr(summaries[0].mbr) + 3 * node.mindist_mbr(
+            summaries[1].mbr
+        )
+        assert weighted_mindist(node, summaries) == pytest.approx(expected)
+
+    def test_weighted_mindist_of_point(self):
+        summaries = self._summaries()
+        point = np.array([20.0, 5.0])
+        expected = 2 * summaries[0].mbr.mindist_point(point) + 3 * summaries[
+            1
+        ].mbr.mindist_point(point)
+        assert weighted_mindist(point, summaries) == pytest.approx(expected)
+
+    def test_example_from_figure_4_5(self):
+        # Figure 4.5: two blocks with n1=2, n2=3, best_dist=20; the node's
+        # weighted mindist is 2*mindist(N,M1) + 3*mindist(N,M2) = 20, so it
+        # is pruned.
+        assert heuristic5_prunes(20.0, 20.0)
+        assert not heuristic5_prunes(19.9, 20.0)
+
+    def test_heuristic5_soundness(self):
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            summaries = []
+            groups = []
+            for index in range(rng.integers(1, 4)):
+                block = rng.uniform(0, 100, size=(rng.integers(1, 6), 2))
+                groups.append(block)
+                summaries.append(BlockSummary(index, MBR.from_points(block), len(block)))
+            low = rng.uniform(0, 80, size=2)
+            node = MBR(low, low + rng.uniform(1, 20, size=2))
+            best = rng.uniform(0, 500)
+            if heuristic5_prunes(weighted_mindist(node, summaries), best):
+                for p in rng.uniform(node.low, node.high, size=(20, 2)):
+                    total = sum(group_distance(p, g) for g in groups)
+                    assert total >= best - 1e-9
+
+    def test_example_from_figure_4_6(self):
+        # Figure 4.6: curr_dist(p) = 8 after the first block; the remaining
+        # block has n=3 and mindist(p, M2) = 4, so 8 + 3*4 = 20 >= best_dist
+        # = 20 and the point is dropped.
+        remaining = [BlockSummary(1, MBR([10.0, 0.0], [20.0, 10.0]), 3)]
+        point = np.array([6.0, 5.0])  # mindist to the block MBR is 4
+        assert heuristic6_prunes(point, 8.0, remaining, 20.0)
+        assert not heuristic6_prunes(point, 7.9, remaining, 20.0)
+
+    def test_heuristic6_soundness(self):
+        rng = np.random.default_rng(4)
+        for _ in range(100):
+            groups = [rng.uniform(0, 100, size=(rng.integers(1, 5), 2)) for _ in range(3)]
+            summaries = [
+                BlockSummary(i, MBR.from_points(g), len(g)) for i, g in enumerate(groups)
+            ]
+            p = rng.uniform(0, 100, size=2)
+            accumulated = group_distance(p, groups[0])
+            best = rng.uniform(0, 600)
+            if heuristic6_prunes(p, accumulated, summaries[1:], best):
+                total = accumulated + sum(group_distance(p, g) for g in groups[1:])
+                assert total >= best - 1e-9

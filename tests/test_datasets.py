@@ -1,0 +1,199 @@
+"""Tests for repro.datasets: synthetic generators, real-like stand-ins, workloads."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.real_like import PP_CARDINALITY, TS_CARDINALITY, pp_like, scaled_pair, ts_like
+from repro.datasets.synthetic import (
+    DEFAULT_WORKSPACE,
+    gaussian_clusters,
+    line_segments,
+    uniform_points,
+)
+from repro.datasets.workload import (
+    WorkloadSpec,
+    generate_query_group,
+    generate_workload,
+    place_with_overlap,
+    scale_into_workspace,
+)
+from repro.geometry.mbr import MBR
+
+
+class TestSyntheticGenerators:
+    def test_uniform_points_shape_and_bounds(self):
+        points = uniform_points(500, seed=0)
+        assert points.shape == (500, 2)
+        low, high = DEFAULT_WORKSPACE
+        assert points.min() >= low
+        assert points.max() <= high
+
+    def test_uniform_points_deterministic_by_seed(self):
+        assert np.array_equal(uniform_points(50, seed=1), uniform_points(50, seed=1))
+        assert not np.array_equal(uniform_points(50, seed=1), uniform_points(50, seed=2))
+
+    def test_uniform_points_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            uniform_points(0)
+
+    def test_gaussian_clusters_shape_and_bounds(self):
+        points = gaussian_clusters(800, clusters=5, seed=0)
+        assert points.shape == (800, 2)
+        low, high = DEFAULT_WORKSPACE
+        assert points.min() >= low and points.max() <= high
+
+    def test_gaussian_clusters_are_more_clustered_than_uniform(self):
+        # Compare mean nearest-neighbor distances: a clustered set has a much
+        # smaller value than a uniform one of the same size.
+        def mean_nn_distance(points):
+            deltas = points[:, None, :] - points[None, :, :]
+            distances = np.sqrt((deltas**2).sum(axis=2))
+            np.fill_diagonal(distances, np.inf)
+            return distances.min(axis=1).mean()
+
+        clustered = gaussian_clusters(400, clusters=4, spread_fraction=0.01, seed=3)
+        uniform = uniform_points(400, seed=3)
+        assert mean_nn_distance(clustered) < 0.5 * mean_nn_distance(uniform)
+
+    def test_gaussian_clusters_custom_weights(self):
+        points = gaussian_clusters(200, clusters=2, cluster_weights=[0.9, 0.1], seed=4)
+        assert points.shape == (200, 2)
+
+    def test_gaussian_clusters_invalid_args(self):
+        with pytest.raises(ValueError):
+            gaussian_clusters(0)
+        with pytest.raises(ValueError):
+            gaussian_clusters(10, clusters=0)
+
+    def test_line_segments_shape(self):
+        points = line_segments(300, segments=10, seed=5)
+        assert points.shape == (300, 2)
+
+    def test_line_segments_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            line_segments(0)
+
+
+class TestRealLikeDatasets:
+    def test_default_cardinalities_match_the_paper(self):
+        assert PP_CARDINALITY == 24_493
+        assert TS_CARDINALITY == 194_971
+
+    def test_pp_like_respects_count(self):
+        points = pp_like(count=2_000)
+        assert points.shape == (2_000, 2)
+
+    def test_ts_like_respects_count(self):
+        points = ts_like(count=3_000)
+        assert points.shape == (3_000, 2)
+
+    def test_generators_are_deterministic(self):
+        assert np.array_equal(pp_like(count=500, seed=1), pp_like(count=500, seed=1))
+        assert np.array_equal(ts_like(count=500, seed=1), ts_like(count=500, seed=1))
+
+    def test_pp_like_is_clustered(self):
+        points = pp_like(count=1_000)
+        low, high = DEFAULT_WORKSPACE
+        # Split the workspace into a 10x10 grid; a clustered distribution
+        # leaves a substantial fraction of cells (nearly) empty.
+        side = (high - low) / 10
+        cells = np.floor((points - low) / side).astype(int)
+        cells = np.clip(cells, 0, 9)
+        occupancy = np.zeros((10, 10))
+        for x, y in cells:
+            occupancy[x, y] += 1
+        assert (occupancy < 2).sum() > 20
+
+    def test_too_small_counts_rejected(self):
+        with pytest.raises(ValueError):
+            pp_like(count=5)
+        with pytest.raises(ValueError):
+            ts_like(count=5)
+
+    def test_scaled_pair_keeps_the_cardinality_ratio(self):
+        pp, ts = scaled_pair(scale=0.02)
+        ratio = len(ts) / len(pp)
+        assert 4.0 < ratio < 12.0
+
+    def test_scaled_pair_validates_scale(self):
+        with pytest.raises(ValueError):
+            scaled_pair(scale=0.0)
+
+
+class TestWorkloadGeneration:
+    def test_query_group_shape_and_extent(self):
+        data_mbr = MBR([0.0, 0.0], [1000.0, 1000.0])
+        rng = np.random.default_rng(0)
+        group = generate_query_group(data_mbr, n=64, mbr_fraction=0.08, rng=rng)
+        assert group.shape == (64, 2)
+        group_mbr = MBR.from_points(group)
+        assert data_mbr.contains(group_mbr)
+        # The group's extent cannot exceed the requested square side.
+        expected_side = np.sqrt(0.08 * data_mbr.area())
+        assert group_mbr.extents.max() <= expected_side + 1e-9
+
+    def test_query_group_invalid_parameters(self):
+        data_mbr = MBR([0.0, 0.0], [10.0, 10.0])
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            generate_query_group(data_mbr, n=0, mbr_fraction=0.1, rng=rng)
+        with pytest.raises(ValueError):
+            generate_query_group(data_mbr, n=4, mbr_fraction=0.0, rng=rng)
+
+    def test_workload_has_requested_number_of_groups(self):
+        data = uniform_points(500, seed=1)
+        spec = WorkloadSpec(n=16, mbr_fraction=0.08, k=8, queries=7)
+        workload = generate_workload(data, spec, seed=3)
+        assert len(workload) == 7
+        assert all(group.shape == (16, 2) for group in workload)
+
+    def test_workload_is_deterministic_by_seed(self):
+        data = uniform_points(500, seed=1)
+        spec = WorkloadSpec(n=8, mbr_fraction=0.04, k=1, queries=3)
+        first = generate_workload(data, spec, seed=5)
+        second = generate_workload(data, spec, seed=5)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    def test_spec_describe_mentions_parameters(self):
+        spec = WorkloadSpec(n=64, mbr_fraction=0.08, k=8, queries=100)
+        text = spec.describe()
+        assert "n=64" in text and "8%" in text and "k=8" in text
+
+
+class TestWorkspacePlacement:
+    def test_scale_into_workspace_area_fraction(self):
+        data = uniform_points(2_000, seed=7)
+        queries = uniform_points(500, seed=8)
+        scaled = scale_into_workspace(queries, data, area_fraction=0.08)
+        data_mbr = MBR.from_points(data)
+        scaled_mbr = MBR.from_points(scaled)
+        assert data_mbr.contains(scaled_mbr)
+        assert scaled_mbr.area() / data_mbr.area() == pytest.approx(0.08, rel=0.05)
+        # Centres coincide.
+        assert np.allclose(scaled_mbr.center, data_mbr.center, atol=1.0)
+
+    def test_scale_into_workspace_invalid_fraction(self):
+        data = uniform_points(100, seed=0)
+        with pytest.raises(ValueError):
+            scale_into_workspace(data, data, area_fraction=0.0)
+
+    @pytest.mark.parametrize("overlap", [0.0, 0.25, 0.5, 1.0])
+    def test_place_with_overlap_produces_requested_overlap(self, overlap):
+        data = uniform_points(2_000, seed=9)
+        queries = uniform_points(800, seed=10)
+        placed = place_with_overlap(queries, data, overlap)
+        data_mbr = MBR.from_points(data)
+        placed_mbr = MBR.from_points(placed)
+        measured = data_mbr.overlap_area(placed_mbr) / data_mbr.area()
+        assert measured == pytest.approx(overlap, abs=0.03)
+
+    def test_place_with_full_overlap_matches_data_workspace(self):
+        data = uniform_points(1_000, seed=11)
+        queries = uniform_points(300, seed=12)
+        placed = place_with_overlap(queries, data, 1.0)
+        assert MBR.from_points(data).contains(MBR.from_points(placed))
+
+    def test_place_with_overlap_invalid_fraction(self):
+        data = uniform_points(100, seed=0)
+        with pytest.raises(ValueError):
+            place_with_overlap(data, data, 1.5)

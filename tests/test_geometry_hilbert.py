@@ -1,0 +1,91 @@
+"""Tests for repro.geometry.hilbert."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hilbert import (
+    hilbert_index_2d,
+    hilbert_indices,
+    hilbert_point_2d,
+    hilbert_sort,
+)
+
+
+class TestHilbertCurve2D:
+    def test_order_one_curve_visits_all_four_cells(self):
+        indices = {hilbert_index_2d(x, y, order=1) for x in range(2) for y in range(2)}
+        assert indices == {0, 1, 2, 3}
+
+    def test_curve_is_a_bijection_at_order_three(self):
+        side = 8
+        indices = {
+            hilbert_index_2d(x, y, order=3) for x in range(side) for y in range(side)
+        }
+        assert indices == set(range(side * side))
+
+    def test_roundtrip_index_to_point(self):
+        order = 4
+        for d in range(0, 256, 7):
+            x, y = hilbert_point_2d(d, order=order)
+            assert hilbert_index_2d(x, y, order=order) == d
+
+    def test_consecutive_indices_are_adjacent_cells(self):
+        # The defining locality property of the Hilbert curve: successive
+        # curve positions are Manhattan-distance-1 neighbors.
+        order = 5
+        previous = hilbert_point_2d(0, order=order)
+        for d in range(1, (1 << order) ** 2):
+            current = hilbert_point_2d(d, order=order)
+            step = abs(current[0] - previous[0]) + abs(current[1] - previous[1])
+            assert step == 1
+            previous = current
+
+    def test_out_of_range_coordinates_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_index_2d(4, 0, order=2)
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_point_2d(16, order=2)
+
+
+class TestHilbertIndices:
+    def test_indices_shape_matches_input(self):
+        points = np.random.default_rng(0).uniform(0, 100, size=(40, 2))
+        indices = hilbert_indices(points)
+        assert indices.shape == (40,)
+        assert indices.dtype == np.int64
+
+    def test_identical_points_get_identical_indices(self):
+        points = np.array([[5.0, 5.0], [5.0, 5.0], [1.0, 9.0]])
+        indices = hilbert_indices(points)
+        assert indices[0] == indices[1]
+
+    def test_three_dimensional_points_are_supported(self):
+        points = np.random.default_rng(1).uniform(0, 1, size=(10, 3))
+        indices = hilbert_indices(points, order=8)
+        assert indices.shape == (10,)
+
+
+class TestHilbertSort:
+    def test_sort_returns_a_permutation(self):
+        points = np.random.default_rng(2).uniform(0, 1000, size=(100, 2))
+        order = hilbert_sort(points)
+        assert sorted(order.tolist()) == list(range(100))
+
+    def test_sort_improves_locality_over_random_order(self):
+        # The summed distance between consecutive points along the Hilbert
+        # order should be far smaller than along the original random order.
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1000, size=(500, 2))
+        order = hilbert_sort(points)
+        sorted_points = points[order]
+
+        def path_length(pts):
+            return float(np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1)))
+
+        assert path_length(sorted_points) < 0.5 * path_length(points)
+
+    def test_sort_is_deterministic(self):
+        points = np.random.default_rng(4).uniform(0, 10, size=(50, 2))
+        assert np.array_equal(hilbert_sort(points), hilbert_sort(points))

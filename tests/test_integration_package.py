@@ -1,0 +1,112 @@
+"""Integration tests: public API surface, instrumentation, example scripts."""
+
+import ast
+import importlib
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.instrumentation import CostTracker
+from repro.rtree.tree import RTree
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestPublicAPI:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+    def test_end_to_end_quickstart_snippet(self):
+        # The snippet from the package docstring / README must work verbatim.
+        data = np.random.default_rng(0).uniform(0, 100, size=(2_000, 2))
+        engine = repro.GNNEngine(data)
+        result = engine.query([[10, 10], [20, 35], [40, 15]], k=3)
+        assert len(result.neighbors) == 3
+        assert result.cost.node_accesses > 0
+
+    def test_submodules_importable(self):
+        for module in (
+            "repro.geometry",
+            "repro.rtree",
+            "repro.storage",
+            "repro.core",
+            "repro.datasets",
+            "repro.bench",
+        ):
+            importlib.import_module(module)
+
+
+class TestCostTracker:
+    def test_tracker_reports_deltas_not_totals(self):
+        points = np.random.default_rng(1).uniform(0, 100, size=(300, 2))
+        tree = RTree.bulk_load(points, capacity=8)
+        # Pre-charge some accesses so a delta-based tracker and a total-based
+        # one would disagree.
+        from repro.rtree.traversal import best_first_nearest
+
+        best_first_nearest(tree, [0.0, 0.0], k=5)
+        pre_existing = tree.stats.node_accesses
+        assert pre_existing > 0
+
+        tracker = CostTracker("test", trees=[tree])
+        best_first_nearest(tree, [50.0, 50.0], k=5)
+        cost = tracker.finish()
+        assert 0 < cost.node_accesses < pre_existing + tree.stats.node_accesses
+        assert cost.cpu_time > 0
+
+    def test_extra_distance_computations_are_added(self):
+        tracker = CostTracker("test")
+        tracker.charge_distance_computations(42)
+        assert tracker.finish().distance_computations == 42
+
+    def test_io_counters_are_tracked(self):
+        from repro.storage.counters import IOCounters
+
+        io = IOCounters()
+        tracker = CostTracker("test", io_counters=[io])
+        io.record_block_read(pages_in_block=3)
+        cost = tracker.finish()
+        assert cost.block_reads == 1
+        assert cost.page_reads == 3
+
+
+class TestExamples:
+    """The example scripts must stay runnable; they are parsed and their
+    structure checked here, and the quickstart is executed end to end."""
+
+    def test_examples_directory_has_at_least_three_scripts(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 3
+
+    @pytest.mark.parametrize(
+        "script",
+        sorted(p.name for p in EXAMPLES_DIR.glob("*.py")),
+    )
+    def test_example_parses_and_defines_main(self, script):
+        source = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+        module = ast.parse(source)
+        function_names = {
+            node.name for node in ast.walk(module) if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in function_names, f"{script} must define a main() function"
+        docstring = ast.get_docstring(module)
+        assert docstring, f"{script} must start with a module docstring"
+
+    def test_quickstart_example_runs(self, capsys, monkeypatch):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "quickstart_example", EXAMPLES_DIR / "quickstart.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        output = capsys.readouterr().out
+        assert "Top 5 meeting restaurants" in output
+        assert "MBM" in output

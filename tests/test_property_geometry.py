@@ -1,0 +1,121 @@
+"""Property-based tests (hypothesis) for the geometric substrate.
+
+These check the invariants listed in DESIGN.md Section 6: mindist is a
+true lower bound, Lemma 1 holds for arbitrary points, the Hilbert curve
+is a bijection, and the aggregate lower bounds never exceed the true
+aggregate distances.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heuristics import lemma1_lower_bound
+from repro.geometry.distance import group_distance, group_mindist
+from repro.geometry.hilbert import hilbert_index_2d, hilbert_point_2d
+from repro.geometry.mbr import MBR
+
+coordinate = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False, width=32
+)
+
+
+def points_strategy(min_count=1, max_count=12, dims=2):
+    return st.lists(
+        st.tuples(*[coordinate] * dims), min_size=min_count, max_size=max_count
+    ).map(lambda rows: np.array(rows, dtype=np.float64))
+
+
+@st.composite
+def mbr_strategy(draw, dims=2):
+    a = np.array(draw(st.tuples(*[coordinate] * dims)), dtype=np.float64)
+    b = np.array(draw(st.tuples(*[coordinate] * dims)), dtype=np.float64)
+    return MBR(np.minimum(a, b), np.maximum(a, b))
+
+
+class TestMBRProperties:
+    @given(box=mbr_strategy(), point=st.tuples(coordinate, coordinate))
+    @settings(max_examples=200, deadline=None)
+    def test_mindist_lower_bounds_distance_to_any_inside_point(self, box, point):
+        point = np.array(point, dtype=np.float64)
+        bound = box.mindist_point(point)
+        # Sample deterministic interior points: corners and centre.
+        candidates = [box.low, box.high, box.center, np.array([box.low[0], box.high[1]])]
+        for candidate in candidates:
+            assert np.linalg.norm(candidate - point) >= bound - 1e-6
+
+    @given(box=mbr_strategy(), point=st.tuples(coordinate, coordinate))
+    @settings(max_examples=200, deadline=None)
+    def test_mindist_zero_iff_point_inside(self, box, point):
+        point = np.array(point, dtype=np.float64)
+        if box.contains_point(point):
+            assert box.mindist_point(point) == 0.0
+        else:
+            assert box.mindist_point(point) > 0.0
+
+    @given(a=mbr_strategy(), b=mbr_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_mbr_mindist_symmetry_and_union_containment(self, a, b):
+        assert a.mindist_mbr(b) == b.mindist_mbr(a)
+        union = a.union(b)
+        assert union.contains(a) and union.contains(b)
+        assert union.area() >= max(a.area(), b.area()) - 1e-9
+
+    @given(a=mbr_strategy(), b=mbr_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_intersection_consistent_with_intersects(self, a, b):
+        region = a.intersection(b)
+        if a.intersects(b):
+            assert region is not None
+            assert a.contains(region) and b.contains(region)
+        else:
+            assert region is None
+
+    @given(box=mbr_strategy(), point=st.tuples(coordinate, coordinate))
+    @settings(max_examples=200, deadline=None)
+    def test_maxdist_at_least_mindist(self, box, point):
+        point = np.array(point, dtype=np.float64)
+        assert box.maxdist_point(point) >= box.mindist_point(point) - 1e-9
+
+
+class TestLemma1Property:
+    @given(
+        group=points_strategy(min_count=1, max_count=10),
+        p=st.tuples(coordinate, coordinate),
+        q=st.tuples(coordinate, coordinate),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_lemma1_bound_never_exceeds_true_distance(self, group, p, q):
+        p = np.array(p, dtype=np.float64)
+        q = np.array(q, dtype=np.float64)
+        bound = lemma1_lower_bound(p, q, group)
+        true_distance = group_distance(p, group)
+        assert true_distance >= bound - 1e-6 * max(1.0, abs(bound))
+
+
+class TestGroupMindistProperty:
+    @given(group=points_strategy(min_count=1, max_count=8), box=mbr_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_group_mindist_lower_bounds_corner_distances(self, group, box):
+        for aggregate in ("sum", "max", "min"):
+            bound = group_mindist(box, group, aggregate=aggregate)
+            for corner in (box.low, box.high, box.center):
+                value = group_distance(corner, group, aggregate=aggregate)
+                assert value >= bound - 1e-6 * max(1.0, abs(bound))
+
+
+class TestHilbertProperty:
+    @given(st.integers(min_value=0, max_value=2**10 - 1))
+    @settings(max_examples=300, deadline=None)
+    def test_roundtrip(self, d):
+        x, y = hilbert_point_2d(d, order=5)
+        assert hilbert_index_2d(x, y, order=5) == d
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_index_in_range(self, x, y):
+        index = hilbert_index_2d(x, y, order=5)
+        assert 0 <= index < 32 * 32

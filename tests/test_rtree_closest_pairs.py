@@ -1,0 +1,82 @@
+"""Tests for repro.rtree.closest_pairs: the incremental closest-pair join."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.closest_pairs import incremental_closest_pairs
+from repro.rtree.tree import RTree
+
+
+@pytest.fixture(scope="module")
+def pair_setup():
+    rng = np.random.default_rng(17)
+    data = rng.uniform(0, 100, size=(120, 2))
+    queries = rng.uniform(0, 100, size=(40, 2))
+    data_tree = RTree.bulk_load(data, capacity=8)
+    query_tree = RTree.bulk_load(queries, capacity=8)
+    return data, queries, data_tree, query_tree
+
+
+def _all_pair_distances(data, queries):
+    delta = data[:, None, :] - queries[None, :, :]
+    return np.sqrt(np.sum(delta * delta, axis=2))
+
+
+class TestClosestPairStream:
+    def test_first_pair_is_the_global_closest_pair(self, pair_setup):
+        data, queries, data_tree, query_tree = pair_setup
+        first = next(incremental_closest_pairs(data_tree, query_tree))
+        matrix = _all_pair_distances(data, queries)
+        assert first.distance == pytest.approx(matrix.min())
+
+    def test_stream_is_non_decreasing(self, pair_setup):
+        _, _, data_tree, query_tree = pair_setup
+        stream = incremental_closest_pairs(data_tree, query_tree)
+        distances = [next(stream).distance for _ in range(200)]
+        assert distances == sorted(distances)
+
+    def test_exhausted_stream_enumerates_cartesian_product(self, pair_setup):
+        data, queries, data_tree, query_tree = pair_setup
+        pairs = list(incremental_closest_pairs(data_tree, query_tree))
+        assert len(pairs) == len(data) * len(queries)
+        seen = {(p.data_id, p.query_id) for p in pairs}
+        assert len(seen) == len(pairs)
+
+    def test_pair_distances_match_recomputation(self, pair_setup):
+        data, queries, data_tree, query_tree = pair_setup
+        stream = incremental_closest_pairs(data_tree, query_tree)
+        for _ in range(50):
+            pair = next(stream)
+            expected = float(np.linalg.norm(data[pair.data_id] - queries[pair.query_id]))
+            assert pair.distance == pytest.approx(expected)
+
+    def test_prefix_matches_sorted_distance_matrix(self, pair_setup):
+        data, queries, data_tree, query_tree = pair_setup
+        matrix = _all_pair_distances(data, queries).ravel()
+        matrix.sort()
+        stream = incremental_closest_pairs(data_tree, query_tree)
+        prefix = [next(stream).distance for _ in range(100)]
+        assert prefix == pytest.approx(matrix[:100].tolist())
+
+    def test_node_accesses_are_charged_to_both_trees(self, pair_setup):
+        _, _, data_tree, query_tree = pair_setup
+        data_tree.reset_stats()
+        query_tree.reset_stats()
+        stream = incremental_closest_pairs(data_tree, query_tree)
+        for _ in range(20):
+            next(stream)
+        assert data_tree.stats.node_accesses > 0
+        assert query_tree.stats.node_accesses > 0
+
+    def test_empty_trees_produce_empty_stream(self):
+        empty = RTree()
+        other = RTree.bulk_load(np.random.default_rng(0).uniform(0, 1, size=(10, 2)))
+        assert list(incremental_closest_pairs(empty, other)) == []
+        assert list(incremental_closest_pairs(other, empty)) == []
+
+    def test_single_point_trees(self):
+        data_tree = RTree.bulk_load(np.array([[0.0, 0.0]]))
+        query_tree = RTree.bulk_load(np.array([[3.0, 4.0]]))
+        pairs = list(incremental_closest_pairs(data_tree, query_tree))
+        assert len(pairs) == 1
+        assert pairs[0].distance == pytest.approx(5.0)

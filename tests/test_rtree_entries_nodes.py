@@ -1,0 +1,97 @@
+"""Tests for repro.rtree.entry and repro.rtree.node."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.rtree.entry import ChildEntry, LeafEntry, entries_mbr
+from repro.rtree.node import Node
+
+
+class TestLeafEntry:
+    def test_stores_point_and_record_id(self):
+        entry = LeafEntry([1.0, 2.0], 7)
+        assert entry.record_id == 7
+        assert entry.point.tolist() == [1.0, 2.0]
+
+    def test_mbr_is_degenerate_box_on_the_point(self):
+        entry = LeafEntry([3.0, 4.0], 0)
+        assert entry.mbr == MBR.from_point([3.0, 4.0])
+
+    def test_repr_contains_id(self):
+        assert "id=5" in repr(LeafEntry([0.0, 0.0], 5))
+
+
+class TestChildEntry:
+    def test_recompute_mbr_tightens_to_child_contents(self):
+        child = Node(0, [LeafEntry([0.0, 0.0], 0), LeafEntry([2.0, 2.0], 1)])
+        entry = ChildEntry(MBR([-10.0, -10.0], [10.0, 10.0]), child)
+        entry.recompute_mbr()
+        assert entry.mbr == MBR([0.0, 0.0], [2.0, 2.0])
+
+
+class TestEntriesMbr:
+    def test_mbr_of_leaf_entries(self):
+        entries = [LeafEntry([0.0, 1.0], 0), LeafEntry([4.0, -1.0], 1)]
+        assert entries_mbr(entries) == MBR([0.0, -1.0], [4.0, 1.0])
+
+    def test_mbr_of_child_entries(self):
+        child_a = Node(0, [LeafEntry([0.0, 0.0], 0)])
+        child_b = Node(0, [LeafEntry([5.0, 5.0], 1)])
+        entries = [ChildEntry(child_a.compute_mbr(), child_a), ChildEntry(child_b.compute_mbr(), child_b)]
+        assert entries_mbr(entries) == MBR([0.0, 0.0], [5.0, 5.0])
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ValueError):
+            entries_mbr([])
+
+
+class TestNode:
+    def test_leaf_flag(self):
+        assert Node(0).is_leaf
+        assert not Node(1).is_leaf
+
+    def test_node_ids_are_unique(self):
+        assert Node(0).node_id != Node(0).node_id
+
+    def test_leaf_rejects_child_entries(self):
+        leaf = Node(0)
+        child = Node(0)
+        with pytest.raises(TypeError):
+            leaf.add(ChildEntry(MBR([0, 0], [1, 1]), child))
+
+    def test_internal_rejects_leaf_entries(self):
+        internal = Node(1)
+        with pytest.raises(TypeError):
+            internal.add(LeafEntry([0.0, 0.0], 0))
+
+    def test_points_iterates_leaf_contents(self):
+        leaf = Node(0, [LeafEntry([1.0, 1.0], 3), LeafEntry([2.0, 2.0], 4)])
+        assert [record_id for record_id, _ in leaf.points()] == [3, 4]
+
+    def test_points_on_internal_node_raises(self):
+        with pytest.raises(TypeError):
+            list(Node(1).points())
+
+    def test_children_on_leaf_raises(self):
+        with pytest.raises(TypeError):
+            list(Node(0).children())
+
+    def test_children_iterates_subnodes(self):
+        child = Node(0, [LeafEntry([0.0, 0.0], 0)])
+        parent = Node(1, [ChildEntry(child.compute_mbr(), child)])
+        assert list(parent.children()) == [child]
+
+    def test_len_counts_entries(self):
+        leaf = Node(0, [LeafEntry([0.0, 0.0], 0)])
+        assert len(leaf) == 1
+
+    def test_compute_mbr_covers_entries(self):
+        leaf = Node(0, [LeafEntry([0.0, 3.0], 0), LeafEntry([2.0, -1.0], 1)])
+        assert leaf.compute_mbr() == MBR([0.0, -1.0], [2.0, 3.0])
+
+
+class TestTreeStatsRepr:
+    def test_node_repr_mentions_kind(self):
+        assert "leaf" in repr(Node(0))
+        assert "level-2" in repr(Node(2))

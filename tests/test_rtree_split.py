@@ -1,0 +1,74 @@
+"""Tests for repro.rtree.split (R* and quadratic splitting)."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.entry import LeafEntry, entries_mbr
+from repro.rtree.split import quadratic_split, rstar_split
+
+
+def _leaf_entries(points):
+    return [LeafEntry(p, i) for i, p in enumerate(points)]
+
+
+@pytest.fixture
+def two_cluster_entries():
+    """Entries forming two well-separated clusters of five points each."""
+    rng = np.random.default_rng(0)
+    left = rng.uniform(0, 1, size=(5, 2))
+    right = rng.uniform(10, 11, size=(5, 2))
+    return _leaf_entries(np.vstack([left, right]))
+
+
+@pytest.mark.parametrize("split", [rstar_split, quadratic_split], ids=["rstar", "quadratic"])
+class TestSplitContracts:
+    def test_every_entry_assigned_exactly_once(self, split, two_cluster_entries):
+        group_a, group_b = split(two_cluster_entries, min_fill=2)
+        ids = sorted(e.record_id for e in group_a + group_b)
+        assert ids == list(range(10))
+
+    def test_min_fill_respected(self, split, two_cluster_entries):
+        group_a, group_b = split(two_cluster_entries, min_fill=4)
+        assert len(group_a) >= 4
+        assert len(group_b) >= 4
+
+    def test_split_of_too_few_entries_rejected(self, split):
+        entries = _leaf_entries(np.random.default_rng(1).uniform(0, 1, size=(3, 2)))
+        with pytest.raises(ValueError):
+            split(entries, min_fill=2)
+
+    def test_separated_clusters_are_not_mixed(self, split, two_cluster_entries):
+        group_a, group_b = split(two_cluster_entries, min_fill=2)
+        # The two natural clusters should end up in different groups: the
+        # resulting MBRs must not overlap.
+        mbr_a = entries_mbr(group_a)
+        mbr_b = entries_mbr(group_b)
+        assert mbr_a.overlap_area(mbr_b) == 0.0
+
+    def test_collinear_points_split_without_error(self, split):
+        points = np.array([[float(i), 0.0] for i in range(8)])
+        group_a, group_b = split(_leaf_entries(points), min_fill=3)
+        assert len(group_a) + len(group_b) == 8
+
+    def test_duplicate_points_split_without_error(self, split):
+        points = np.tile([1.0, 1.0], (8, 1))
+        group_a, group_b = split(_leaf_entries(points), min_fill=3)
+        assert len(group_a) + len(group_b) == 8
+
+
+class TestRStarSpecifics:
+    def test_split_minimises_overlap_on_grid(self):
+        # A 4x2 grid of points: the minimal-overlap split separates the two
+        # columns (or rows) cleanly, never interleaving them.
+        points = np.array(
+            [[x, y] for x in (0.0, 1.0, 10.0, 11.0) for y in (0.0, 1.0)]
+        )
+        group_a, group_b = rstar_split(_leaf_entries(points), min_fill=2)
+        assert entries_mbr(group_a).overlap_area(entries_mbr(group_b)) == 0.0
+
+    def test_result_is_deterministic(self):
+        rng = np.random.default_rng(5)
+        entries = _leaf_entries(rng.uniform(0, 100, size=(20, 2)))
+        first = rstar_split(entries, min_fill=6)
+        second = rstar_split(entries, min_fill=6)
+        assert [e.record_id for e in first[0]] == [e.record_id for e in second[0]]

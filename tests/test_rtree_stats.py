@@ -1,0 +1,67 @@
+"""Tests for repro.rtree.stats."""
+
+from repro.rtree.stats import TreeStats
+
+
+class TestTreeStats:
+    def test_record_node_access_counts_leaves_separately(self):
+        stats = TreeStats()
+        stats.record_node_access(is_leaf=True)
+        stats.record_node_access(is_leaf=False)
+        assert stats.node_accesses == 2
+        assert stats.leaf_accesses == 1
+
+    def test_buffer_hits_do_not_count_as_page_faults(self):
+        stats = TreeStats()
+        stats.record_node_access(is_leaf=False, buffer_hit=True)
+        stats.record_node_access(is_leaf=False, buffer_hit=False)
+        assert stats.node_accesses == 2
+        assert stats.page_faults == 1
+
+    def test_distance_computations_accumulate(self):
+        stats = TreeStats()
+        stats.record_distance_computations(5)
+        stats.record_distance_computations()
+        assert stats.distance_computations == 6
+
+    def test_snapshot_returns_plain_dict(self):
+        stats = TreeStats()
+        stats.record_node_access(is_leaf=True)
+        snapshot = stats.snapshot()
+        assert snapshot["node_accesses"] == 1
+        assert set(snapshot) == {
+            "node_accesses",
+            "leaf_accesses",
+            "page_faults",
+            "distance_computations",
+        }
+
+    def test_reset_zeroes_everything(self):
+        stats = TreeStats()
+        stats.record_node_access(is_leaf=True)
+        stats.record_distance_computations(3)
+        stats.reset()
+        assert stats.snapshot() == {
+            "node_accesses": 0,
+            "leaf_accesses": 0,
+            "page_faults": 0,
+            "distance_computations": 0,
+        }
+
+    def test_merge_accumulates_counters(self):
+        first = TreeStats()
+        first.record_node_access(is_leaf=True)
+        second = TreeStats()
+        second.record_node_access(is_leaf=False)
+        second.record_distance_computations(2)
+        first.merge(second)
+        assert first.node_accesses == 2
+        assert first.distance_computations == 2
+
+    def test_add_returns_new_object(self):
+        first = TreeStats(node_accesses=1)
+        second = TreeStats(node_accesses=2)
+        combined = first + second
+        assert combined.node_accesses == 3
+        assert first.node_accesses == 1
+        assert second.node_accesses == 2

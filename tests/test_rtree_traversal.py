@@ -1,0 +1,127 @@
+"""Tests for repro.rtree.traversal: DF, BF and incremental NN search."""
+
+import numpy as np
+import pytest
+
+from repro.rtree.traversal import (
+    best_first_nearest,
+    depth_first_nearest,
+    incremental_nearest,
+    incremental_nearest_generic,
+)
+from repro.rtree.tree import RTree
+
+
+def _true_knn(points, query, k):
+    distances = np.linalg.norm(points - np.asarray(query), axis=1)
+    order = np.argsort(distances, kind="stable")[:k]
+    return [(int(i), float(distances[i])) for i in order]
+
+
+class TestBestFirst:
+    def test_single_nearest_neighbor_matches_linear_scan(self, uniform_points_1k, uniform_tree):
+        query = [500.0, 500.0]
+        result = best_first_nearest(uniform_tree, query, k=1)
+        expected = _true_knn(uniform_points_1k, query, 1)
+        assert result[0].as_tuple() == pytest.approx(expected[0])
+
+    def test_knn_distances_match_linear_scan(self, uniform_points_1k, uniform_tree):
+        query = [123.0, 877.0]
+        result = best_first_nearest(uniform_tree, query, k=10)
+        expected = _true_knn(uniform_points_1k, query, 10)
+        assert [r.distance for r in result] == pytest.approx([d for _, d in expected])
+
+    def test_k_larger_than_dataset_returns_everything(self, small_tree, small_points):
+        result = best_first_nearest(small_tree, [0.0, 0.0], k=10_000)
+        assert len(result) == len(small_points)
+
+    def test_invalid_k_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            best_first_nearest(small_tree, [0.0, 0.0], k=0)
+
+    def test_empty_tree_returns_no_neighbors(self):
+        assert best_first_nearest(RTree(), [0.0, 0.0], k=3) == []
+
+    def test_query_point_coinciding_with_data_point(self, small_points, small_tree):
+        query = small_points[42]
+        result = best_first_nearest(small_tree, query, k=1)
+        assert result[0].distance == pytest.approx(0.0)
+
+
+class TestDepthFirst:
+    def test_depth_first_matches_best_first(self, uniform_points_1k, uniform_tree):
+        query = [321.0, 654.0]
+        df = depth_first_nearest(uniform_tree, query, k=5)
+        bf = best_first_nearest(uniform_tree, query, k=5)
+        assert [r.distance for r in df] == pytest.approx([r.distance for r in bf])
+
+    def test_depth_first_accesses_at_least_as_many_nodes(self, uniform_tree):
+        # [PM97]: BF is I/O-optimal, DF is not; on the same query DF can
+        # never access fewer nodes than BF.
+        query = [250.0, 750.0]
+        uniform_tree.reset_stats()
+        best_first_nearest(uniform_tree, query, k=1)
+        bf_accesses = uniform_tree.stats.node_accesses
+        uniform_tree.reset_stats()
+        depth_first_nearest(uniform_tree, query, k=1)
+        df_accesses = uniform_tree.stats.node_accesses
+        assert df_accesses >= bf_accesses
+
+    def test_empty_tree(self):
+        assert depth_first_nearest(RTree(), [1.0, 1.0], k=2) == []
+
+    def test_invalid_k_rejected(self, small_tree):
+        with pytest.raises(ValueError):
+            depth_first_nearest(small_tree, [0.0, 0.0], k=-1)
+
+
+class TestIncremental:
+    def test_stream_is_sorted_and_complete(self, small_points, small_tree):
+        stream = list(incremental_nearest(small_tree, [500.0, 500.0]))
+        distances = [neighbor.distance for neighbor in stream]
+        assert distances == sorted(distances)
+        assert sorted(n.record_id for n in stream) == list(range(len(small_points)))
+
+    def test_stream_prefix_equals_knn(self, uniform_points_1k, uniform_tree):
+        query = [10.0, 990.0]
+        stream = incremental_nearest(uniform_tree, query)
+        prefix = [next(stream) for _ in range(7)]
+        expected = _true_knn(uniform_points_1k, query, 7)
+        assert [p.distance for p in prefix] == pytest.approx([d for _, d in expected])
+
+    def test_stream_is_lazy_about_node_accesses(self, uniform_tree):
+        uniform_tree.reset_stats()
+        stream = incremental_nearest(uniform_tree, [500.0, 500.0])
+        next(stream)
+        partial_accesses = uniform_tree.stats.node_accesses
+        # Draining the stream costs many more accesses than the first item.
+        for _ in stream:
+            pass
+        assert uniform_tree.stats.node_accesses > partial_accesses
+
+    def test_empty_tree_stream_is_empty(self):
+        assert list(incremental_nearest(RTree(), [0.0, 0.0])) == []
+
+
+class TestIncrementalGeneric:
+    def test_custom_keys_order_by_distance_to_mbr(self, small_points, small_tree):
+        # Rank points by their distance to a query rectangle rather than to
+        # a point: the generic traversal supports it as long as the node key
+        # lower-bounds the point key.
+        from repro.geometry.mbr import MBR
+
+        region = MBR([100.0, 100.0], [200.0, 200.0])
+        stream = incremental_nearest_generic(
+            small_tree,
+            node_key=lambda mbr: mbr.mindist_mbr(region),
+            point_key=lambda point: region.mindist_point(point),
+        )
+        results = list(stream)
+        distances = [n.distance for n in results]
+        assert distances == sorted(distances)
+        expected_best = min(region.mindist_point(p) for p in small_points)
+        assert distances[0] == pytest.approx(expected_best)
+
+    def test_constant_keys_enumerate_everything(self, small_tree, small_points):
+        stream = incremental_nearest_generic(small_tree, lambda mbr: 0.0, lambda p: 0.0)
+        assert len(list(stream)) == len(small_points)

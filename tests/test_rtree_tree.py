@@ -1,0 +1,242 @@
+"""Tests for repro.rtree.tree: construction, insertion, deletion, range search."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mbr import MBR
+from repro.rtree.rstar import choose_subtree, reinsert_candidates
+from repro.rtree.entry import ChildEntry, LeafEntry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.buffer import LRUBuffer
+
+
+class TestConstructionValidation:
+    def test_capacity_must_be_at_least_four(self):
+        with pytest.raises(ValueError):
+            RTree(capacity=3)
+
+    def test_min_fill_ratio_must_be_reasonable(self):
+        with pytest.raises(ValueError):
+            RTree(min_fill_ratio=0.9)
+
+    def test_unknown_split_rejected(self):
+        with pytest.raises(ValueError):
+            RTree(split="linear")
+
+    def test_unknown_bulk_method_rejected(self):
+        with pytest.raises(ValueError):
+            RTree.bulk_load(np.zeros((4, 2)), method="tgs")
+
+    def test_empty_tree_properties(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.root_mbr() is None
+        assert tree.range_search(MBR([0, 0], [1, 1])) == []
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("method", ["str", "hilbert"])
+    def test_bulk_load_indexes_every_point(self, method):
+        points = np.random.default_rng(0).uniform(0, 100, size=(500, 2))
+        tree = RTree.bulk_load(points, capacity=10, method=method)
+        assert len(tree) == 500
+        stored = sorted(record_id for record_id, _ in tree.all_points())
+        assert stored == list(range(500))
+        tree.validate()
+
+    @pytest.mark.parametrize("method", ["str", "hilbert"])
+    def test_bulk_load_respects_capacity(self, method):
+        points = np.random.default_rng(1).uniform(0, 100, size=(300, 2))
+        tree = RTree.bulk_load(points, capacity=8, method=method)
+        for node in tree.iter_nodes():
+            assert len(node.entries) <= 8
+
+    def test_bulk_load_builds_balanced_tree(self):
+        points = np.random.default_rng(2).uniform(0, 100, size=(1000, 2))
+        tree = RTree.bulk_load(points, capacity=10)
+        depths = set()
+
+        def walk(node, depth):
+            if node.is_leaf:
+                depths.add(depth)
+                return
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(tree.root, 0)
+        assert len(depths) == 1
+
+    def test_single_point_bulk_load(self):
+        tree = RTree.bulk_load(np.array([[1.0, 2.0]]), capacity=8)
+        assert len(tree) == 1
+        assert tree.root.is_leaf
+
+
+class TestInsertion:
+    def test_inserting_points_keeps_invariants(self):
+        rng = np.random.default_rng(3)
+        tree = RTree(capacity=8)
+        points = rng.uniform(0, 100, size=(300, 2))
+        for point in points:
+            tree.insert(point)
+        assert len(tree) == 300
+        tree.validate()
+
+    def test_insert_returns_sequential_record_ids(self):
+        tree = RTree(capacity=8)
+        ids = [tree.insert([float(i), float(i)]) for i in range(10)]
+        assert ids == list(range(10))
+
+    def test_insert_with_explicit_record_id(self):
+        tree = RTree(capacity=8)
+        assert tree.insert([1.0, 1.0], record_id=42) == 42
+
+    def test_insert_grows_tree_height(self):
+        tree = RTree(capacity=4)
+        rng = np.random.default_rng(4)
+        for point in rng.uniform(0, 100, size=(100, 2)):
+            tree.insert(point)
+        assert tree.height >= 3
+        tree.validate()
+
+    def test_inserted_points_are_all_retrievable(self):
+        tree = RTree(capacity=6)
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 50, size=(120, 2))
+        for point in points:
+            tree.insert(point)
+        found = tree.range_search(MBR([0.0, 0.0], [50.0, 50.0]))
+        assert len(found) == 120
+
+    def test_duplicate_points_are_allowed(self):
+        tree = RTree(capacity=5)
+        for _ in range(30):
+            tree.insert([7.0, 7.0])
+        assert len(tree) == 30
+        tree.validate()
+
+    def test_insert_after_bulk_load(self):
+        points = np.random.default_rng(6).uniform(0, 10, size=(100, 2))
+        tree = RTree.bulk_load(points, capacity=8)
+        tree.insert([5.0, 5.0], record_id=1000)
+        assert len(tree) == 101
+        ids = {record_id for record_id, _ in tree.all_points()}
+        assert 1000 in ids
+
+    def test_dimension_mismatch_rejected(self):
+        tree = RTree(dims=2)
+        with pytest.raises(Exception):
+            tree.insert([1.0, 2.0, 3.0])
+
+
+class TestDeletion:
+    def test_delete_removes_point(self):
+        tree = RTree(capacity=6)
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 100, size=(80, 2))
+        for point in points:
+            tree.insert(point)
+        assert tree.delete(points[10], 10)
+        assert len(tree) == 79
+        remaining = {record_id for record_id, _ in tree.all_points()}
+        assert 10 not in remaining
+        tree.validate()
+
+    def test_delete_missing_point_returns_false(self):
+        tree = RTree(capacity=6)
+        tree.insert([1.0, 1.0])
+        assert not tree.delete([2.0, 2.0], 99)
+        assert len(tree) == 1
+
+    def test_delete_many_keeps_invariants(self):
+        tree = RTree(capacity=6)
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 100, size=(200, 2))
+        for point in points:
+            tree.insert(point)
+        for record_id in range(0, 150):
+            assert tree.delete(points[record_id], record_id)
+        assert len(tree) == 50
+        tree.validate()
+        remaining = sorted(record_id for record_id, _ in tree.all_points())
+        assert remaining == list(range(150, 200))
+
+    def test_delete_everything_leaves_empty_tree(self):
+        tree = RTree(capacity=5)
+        points = np.random.default_rng(9).uniform(0, 10, size=(40, 2))
+        for point in points:
+            tree.insert(point)
+        for record_id, point in enumerate(points):
+            assert tree.delete(point, record_id)
+        assert len(tree) == 0
+        assert list(tree.all_points()) == []
+
+
+class TestRangeSearch:
+    def test_range_search_matches_linear_scan(self):
+        rng = np.random.default_rng(10)
+        points = rng.uniform(0, 100, size=(400, 2))
+        tree = RTree.bulk_load(points, capacity=10)
+        region = MBR([20.0, 30.0], [60.0, 70.0])
+        found = {entry.record_id for entry in tree.range_search(region)}
+        expected = {
+            i for i, p in enumerate(points) if region.contains_point(p)
+        }
+        assert found == expected
+
+    def test_range_search_counts_node_accesses(self):
+        points = np.random.default_rng(11).uniform(0, 100, size=(400, 2))
+        tree = RTree.bulk_load(points, capacity=10)
+        tree.reset_stats()
+        tree.range_search(MBR([0.0, 0.0], [100.0, 100.0]))
+        assert tree.stats.node_accesses == tree.node_count()
+
+    def test_selective_range_search_touches_few_nodes(self):
+        points = np.random.default_rng(12).uniform(0, 100, size=(2000, 2))
+        tree = RTree.bulk_load(points, capacity=20)
+        tree.reset_stats()
+        tree.range_search(MBR([50.0, 50.0], [51.0, 51.0]))
+        assert tree.stats.node_accesses < tree.node_count() / 4
+
+
+class TestBufferIntegration:
+    def test_buffer_hits_reduce_page_faults(self):
+        points = np.random.default_rng(13).uniform(0, 100, size=(500, 2))
+        buffer = LRUBuffer(capacity=10_000)
+        tree = RTree.bulk_load(points, capacity=10, buffer=buffer)
+        region = MBR([0.0, 0.0], [100.0, 100.0])
+        tree.range_search(region)
+        first_faults = tree.stats.page_faults
+        tree.range_search(region)
+        assert tree.stats.page_faults == first_faults  # second pass fully buffered
+        assert tree.stats.node_accesses == 2 * first_faults
+
+
+class TestChooseSubtreeAndReinsert:
+    def test_choose_subtree_prefers_containing_child(self):
+        left = Node(0, [LeafEntry([0.0, 0.0], 0), LeafEntry([1.0, 1.0], 1)])
+        right = Node(0, [LeafEntry([10.0, 10.0], 2), LeafEntry([11.0, 11.0], 3)])
+        parent = Node(
+            1,
+            [
+                ChildEntry(left.compute_mbr(), left),
+                ChildEntry(right.compute_mbr(), right),
+            ],
+        )
+        target = MBR.from_point([0.5, 0.5])
+        assert choose_subtree(parent, target).child is left
+
+    def test_choose_subtree_on_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            choose_subtree(Node(1), MBR.from_point([0.0, 0.0]))
+
+    def test_reinsert_candidates_removes_farthest_entries(self):
+        entries = [LeafEntry([float(i), 0.0], i) for i in range(10)]
+        node = Node(0, entries)
+        kept, removed = reinsert_candidates(node, node.compute_mbr(), count=3)
+        assert len(kept) == 7
+        assert len(removed) == 3
+        # The removed entries are those farthest from the node centre (4.5).
+        removed_ids = {entry.record_id for entry in removed}
+        assert removed_ids == {0, 1, 9} or removed_ids == {0, 8, 9}

@@ -1,0 +1,61 @@
+"""Tests for repro.storage.buffer."""
+
+import pytest
+
+from repro.storage.buffer import LRUBuffer
+
+
+class TestLRUBuffer:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(0)
+
+    def test_first_access_is_a_miss(self):
+        buffer = LRUBuffer(4)
+        assert buffer.access(1) is False
+        assert buffer.misses == 1
+
+    def test_repeated_access_is_a_hit(self):
+        buffer = LRUBuffer(4)
+        buffer.access(1)
+        assert buffer.access(1) is True
+        assert buffer.hits == 1
+
+    def test_eviction_removes_least_recently_used(self):
+        buffer = LRUBuffer(2)
+        buffer.access(1)
+        buffer.access(2)
+        buffer.access(1)  # 1 becomes most recent
+        buffer.access(3)  # evicts 2
+        assert 2 not in buffer
+        assert 1 in buffer
+        assert 3 in buffer
+
+    def test_len_never_exceeds_capacity(self):
+        buffer = LRUBuffer(3)
+        for page in range(10):
+            buffer.access(page)
+        assert len(buffer) == 3
+
+    def test_hit_ratio(self):
+        buffer = LRUBuffer(4)
+        buffer.access(1)
+        buffer.access(1)
+        buffer.access(1)
+        buffer.access(2)
+        assert buffer.hit_ratio() == pytest.approx(0.5)
+
+    def test_hit_ratio_of_untouched_buffer_is_zero(self):
+        assert LRUBuffer(4).hit_ratio() == 0.0
+
+    def test_clear_resets_contents_and_counters(self):
+        buffer = LRUBuffer(4)
+        buffer.access(1)
+        buffer.access(1)
+        buffer.clear()
+        assert len(buffer) == 0
+        assert buffer.hits == 0
+        assert buffer.misses == 0
+
+    def test_repr_mentions_capacity(self):
+        assert "capacity=4" in repr(LRUBuffer(4))
