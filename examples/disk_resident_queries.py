@@ -4,8 +4,10 @@ When the query set is itself a large dataset (the paper's Section 4 —
 for example "which warehouse minimises the summed distance to *all*
 customers"), the group no longer fits in memory.  This example builds a
 customer dataset that is processed from a simulated disk file in
-Hilbert-sorted blocks, runs the three disk-resident algorithms and
-prints the I/O and node-access costs each of them pays.
+Hilbert-sorted blocks, runs the three disk-resident algorithms through
+declarative :class:`~repro.api.QuerySpec` objects, and prints the I/O
+and node-access costs each of them pays — plus the planner's own
+explanation of what it would pick.
 
 Run with::
 
@@ -14,9 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import GNNEngine, PointFile, RTree, gcp
+from repro import GNNEngine, PointFile, QuerySpec
 from repro.datasets import pp_like, ts_like
 from repro.datasets.workload import scale_into_workspace
 
@@ -37,7 +37,8 @@ def main() -> None:
     # --- F-MQM / F-MBM over a Hilbert-sorted, block-structured file -----
     for algorithm in ("fmqm", "fmbm"):
         query_file = PointFile(customers, points_per_page=50, block_pages=20)
-        result = engine.query_disk(query_file=query_file, k=3, algorithm=algorithm)
+        spec = QuerySpec(group_file=query_file, k=3, algorithm=algorithm)
+        result = engine.execute(spec)
         best = result.best
         print(f"{algorithm.upper()}  ({query_file.block_count} query blocks)")
         print(f"  best warehouse   : #{best.record_id} (total distance {best.distance:.1f})")
@@ -53,8 +54,8 @@ def main() -> None:
     # a customer subsample to stay interactive (expect a few tens of
     # seconds even so, versus milliseconds for F-MQM / F-MBM above).
     sample = customers[:: max(1, len(customers) // 400)]
-    customer_tree = RTree.bulk_load(sample)
-    result = gcp(engine.tree, customer_tree, k=3)
+    gcp_spec = QuerySpec(group=sample, residency="disk", algorithm="gcp", k=3)
+    result = engine.execute(gcp_spec)
     best = result.best
     print(f"GCP (incremental closest pairs over two R-trees, {len(sample)} customer sample)")
     print(f"  best warehouse   : #{best.record_id} (total distance {best.distance:.1f})")
@@ -63,7 +64,15 @@ def main() -> None:
     print()
 
     # --- automatic algorithm selection ----------------------------------
-    auto = engine.query_disk(customers, k=3, algorithm="auto", block_pages=20)
+    auto_spec = QuerySpec(
+        group=customers,
+        k=3,
+        residency="disk",
+        options={"points_per_page": 50, "block_pages": 20},
+    )
+    print("Planner decision for the full customer file:")
+    print(engine.explain(auto_spec).describe())
+    auto = engine.execute(auto_spec)
     print(
         "auto-selected algorithm:",
         auto.cost.algorithm,

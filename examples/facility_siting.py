@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GNNEngine
+from repro import GNNEngine, QuerySpec
 from repro.datasets import gaussian_clusters
 
 
@@ -46,7 +46,8 @@ def main() -> None:
     centers, assignment = simple_kmeans(demand, k_clusters, seed=1)
 
     print("Medoid selection per cluster (GNN over the cluster's members):")
-    total_cost = 0.0
+    # One spec per cluster, answered as a single execute_many batch.
+    cluster_groups = []
     for cluster in range(k_clusters):
         members = demand[assignment == cluster]
         if len(members) == 0:
@@ -55,7 +56,14 @@ def main() -> None:
         if len(members) > 256:
             rng = np.random.default_rng(cluster)
             members = members[rng.choice(len(members), size=256, replace=False)]
-        result = engine.query(members, k=1)
+        cluster_groups.append((cluster, members))
+    specs = [
+        QuerySpec(group=members, k=1, label=f"cluster-{cluster}")
+        for cluster, members in cluster_groups
+    ]
+    results = engine.execute_many(specs)
+    total_cost = 0.0
+    for (cluster, members), result in zip(cluster_groups, results):
         medoid = result.best
         total_cost += medoid.distance
         print(
@@ -75,7 +83,7 @@ def main() -> None:
         ("max", "minimise the worst user's travel distance"),
         ("min", "be as close as possible to at least one user"),
     ):
-        result = engine.query(users, k=1, aggregate=aggregate)
+        result = engine.execute(QuerySpec(group=users, k=1, aggregate=aggregate))
         best = result.best
         x, y = best.point
         print(
@@ -87,7 +95,7 @@ def main() -> None:
     # delivery hub that will be visited ten times as often).
     weights = np.ones(len(users))
     weights[0] = 10.0
-    weighted = engine.query(users, k=1, aggregate="sum", weights=weights)
+    weighted = engine.execute(QuerySpec(group=users, k=1, aggregate="sum", weights=weights))
     print(
         f"  weighted sum: facility #{weighted.best.record_id} "
         f"(user 0 weighted 10x) — objective {weighted.best.distance:.1f}"

@@ -4,7 +4,8 @@ The paper's headline application: ``Q`` is a set of user locations, ``P``
 is a database of facilities, and the GNN query returns the facility that
 minimises the total travel distance of all users.  This example scales
 the scenario up — a whole department spread over a metropolitan area —
-and shows how the three memory-resident algorithms behave as the group
+answering the day's meeting requests as one ``execute_many`` batch, and
+shows how the three memory-resident algorithms behave as the group
 grows, mirroring Figure 5.1 of the paper.
 
 Run with::
@@ -16,13 +17,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GNNEngine
-from repro.datasets import pp_like
+from repro import GNNEngine, QuerySpec
 
 
-def plan_meeting(engine: GNNEngine, attendees: np.ndarray, k: int = 3) -> None:
-    """Print the best k venues for the given attendee locations."""
-    result = engine.query(attendees, k=k)
+def print_meeting(attendees: np.ndarray, result) -> None:
+    """Print the best venues for one planned meeting."""
     print(f"  attendees: {len(attendees):4d}   best venues:")
     for neighbor in result.neighbors:
         x, y = neighbor.point
@@ -37,7 +36,8 @@ def compare_algorithms(engine: GNNEngine, attendees: np.ndarray) -> None:
     """Show the cost of the three algorithms on the same query group."""
     print(f"  cost comparison for a group of {len(attendees)} attendees:")
     for algorithm in ("mqm", "spm", "mbm"):
-        outcome = engine.query(attendees, k=8, algorithm=algorithm)
+        spec = QuerySpec(group=attendees, k=8, algorithm=algorithm)
+        outcome = engine.execute(spec)
         print(
             f"    {algorithm.upper():4s}: {outcome.cost.node_accesses:6d} node accesses, "
             f"{outcome.cost.distance_computations:8d} distance computations, "
@@ -50,20 +50,28 @@ def main() -> None:
 
     # Candidate venues: a clustered, city-like distribution (the PP-like
     # generator mirrors the "populated places" dataset of the paper).
+    from repro.datasets import pp_like
+
     venues = pp_like(count=20_000, seed=3)
-    engine = GNNEngine(venues)
+    engine = GNNEngine(venues, buffer_pages=512)
     workspace_low = venues.min(axis=0)
     workspace_high = venues.max(axis=0)
 
     print("Meeting-point planning over", len(venues), "candidate venues")
     print()
 
-    # Small ad-hoc meetings: a handful of people, scattered locations.
-    for group_size in (3, 8):
+    # The day's meeting requests, answered as ONE batch: execute_many
+    # plans each spec once per shape and schedules the queries in Hilbert
+    # order so consecutive searches hit warm R-tree pages in the buffer.
+    groups = []
+    for group_size in (3, 8, 5, 4, 6):
         center = rng.uniform(workspace_low, workspace_high)
         spread = 0.05 * (workspace_high - workspace_low)
-        attendees = rng.normal(loc=center, scale=spread, size=(group_size, 2))
-        plan_meeting(engine, attendees)
+        groups.append(rng.normal(loc=center, scale=spread, size=(group_size, 2)))
+    specs = [QuerySpec(group=group, k=3, label=f"meeting-{i}") for i, group in enumerate(groups)]
+    results = engine.execute_many(specs)
+    for attendees, result in zip(groups, results):
+        print_meeting(attendees, result)
         print()
 
     # Department offsite: hundreds of attendees.  MQM degrades sharply with

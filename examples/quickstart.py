@@ -3,8 +3,9 @@
 Three friends at different locations want to pick the restaurant that
 minimises their total travel distance — the motivating example of the
 paper's introduction.  The dataset of restaurants is indexed once by an
-R*-tree; the query runs in milliseconds with any of the paper's
-algorithms.
+R*-tree; a declarative :class:`~repro.api.QuerySpec` describes the query
+and the engine's planner picks the right algorithm (and can explain its
+choice before anything runs).
 
 Run with::
 
@@ -15,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import GNNEngine
+from repro import GNNEngine, QuerySpec
 
 
 def main() -> None:
@@ -31,8 +32,13 @@ def main() -> None:
         [45.0, 40.0],
         [25.0, 15.0],
     ]
+    spec = QuerySpec(group=friends, k=5)
 
-    result = engine.query(friends, k=5)
+    # The planner explains its decision without executing anything.
+    print(engine.explain(spec).describe())
+    print()
+
+    result = engine.execute(spec)
     print("Top 5 meeting restaurants (minimum total travel distance):")
     for rank, neighbor in enumerate(result.neighbors, start=1):
         x, y = neighbor.point
@@ -42,17 +48,18 @@ def main() -> None:
         )
 
     print()
-    print("Cost of answering the query with the default algorithm (MBM):")
+    print("Cost of answering the query with the planned algorithm (MBM):")
     print(f"  R-tree node accesses : {result.cost.node_accesses}")
     print(f"  distance computations: {result.cost.distance_computations}")
     print(f"  CPU time             : {result.cost.cpu_time * 1000:.2f} ms")
 
     # The same query through every algorithm of the paper gives the same
-    # answer; only the cost differs.
+    # answer; only the cost differs.  An explicit algorithm in the spec
+    # overrides the planner (and is validated against the registry).
     print()
     print("Same query, every memory-resident algorithm of the paper:")
     for algorithm in ("mqm", "spm", "mbm"):
-        outcome = engine.query(friends, k=5, algorithm=algorithm)
+        outcome = engine.execute(spec.replace(algorithm=algorithm))
         print(
             f"  {algorithm.upper():4s} -> best #{outcome.best.record_id} "
             f"(distance {outcome.best.distance:.2f}), "

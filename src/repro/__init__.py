@@ -9,18 +9,29 @@ MBM for memory-resident ``Q``; GCP, F-MQM, F-MBM for disk-resident
 closest-pair search, Hilbert sorting, simulated disk I/O), and the full
 experimental harness of Section 5.
 
+Queries are declarative: a :class:`~repro.api.QuerySpec` describes what
+to retrieve, a capability-aware planner picks the right algorithm (with
+an inspectable rationale via ``engine.explain``), and batches run
+through ``engine.execute_many``, which amortises planning, index
+locality and scan work across queries.
+
 Quickstart::
 
     import numpy as np
-    from repro import GNNEngine
+    from repro import GNNEngine, QuerySpec
 
     data = np.random.default_rng(0).uniform(0, 100, size=(10_000, 2))
     engine = GNNEngine(data)
-    meeting = engine.query([[10, 10], [20, 35], [40, 15]], k=3)
+    spec = QuerySpec(group=[[10, 10], [20, 35], [40, 15]], k=3)
+    print(engine.explain(spec).describe())   # planner's choice + rationale
+    meeting = engine.execute(spec)
     for neighbor in meeting.neighbors:
         print(neighbor.record_id, neighbor.distance)
 """
 
+# repro.core must be imported before repro.api: the engine (loaded by
+# repro.core's __init__) pulls in the api package, and importing api
+# first would re-enter it while partially initialised.
 from repro.core import (
     GNNEngine,
     GNNResult,
@@ -36,13 +47,22 @@ from repro.core import (
     mqm,
     spm,
 )
+from repro.api import (
+    AlgorithmInfo,
+    QueryPlan,
+    QueryPlanner,
+    QuerySpec,
+    available_algorithms,
+    register_algorithm,
+)
 from repro.geometry import MBR
 from repro.rtree import RTree
 from repro.storage import LRUBuffer, PointFile
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "AlgorithmInfo",
     "GNNEngine",
     "GNNResult",
     "GroupNeighbor",
@@ -51,14 +71,19 @@ __all__ = [
     "MBR",
     "PointFile",
     "QueryCost",
+    "QueryPlan",
+    "QueryPlanner",
+    "QuerySpec",
     "RTree",
     "aggregate_gnn",
+    "available_algorithms",
     "brute_force_gnn",
     "fmbm",
     "fmqm",
     "gcp",
     "mbm",
     "mqm",
+    "register_algorithm",
     "spm",
     "__version__",
 ]

@@ -2,8 +2,12 @@
 
 A *setting* is one x-axis position of one figure: a set of query groups
 (or one disk-resident query dataset placement) that is run through every
-competing algorithm.  The runner executes the setting and averages the
-cost metrics per algorithm — exactly what the paper plots (average node
+competing algorithm.  The runner builds a declarative
+:class:`~repro.api.spec.QuerySpec` per (group, algorithm variant) and
+executes it through the planner/executor layer — memory workloads go
+through the batched :func:`~repro.api.executor.execute_batch` path (the
+same code path ``GNNEngine.execute_many`` uses) — then averages the cost
+metrics per algorithm, exactly what the paper plots (average node
 accesses and CPU time per query of the workload).
 """
 
@@ -13,18 +17,31 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.fmbm import fmbm
-from repro.core.fmqm import fmqm
-from repro.core.gcp import gcp
-from repro.core.mbm import mbm
-from repro.core.mqm import mqm
-from repro.core.spm import spm
-from repro.core.types import GroupQuery
+from repro.api.executor import ExecutionContext, execute_batch, execute_spec
+from repro.api.planner import QueryPlanner
+from repro.api.spec import DISK, QuerySpec
 from repro.rtree.tree import RTree
-from repro.storage.pointfile import PointFile
 
 MEMORY_ALGORITHMS = ("MQM", "SPM", "MBM")
 DISK_ALGORITHMS = ("GCP", "F-MQM", "F-MBM")
+
+#: Bench series name → (registry algorithm, options).  The ablation
+#: variants are ordinary algorithms with non-default options, which is
+#: exactly what QuerySpec.options is for.
+MEMORY_VARIANTS = {
+    "MQM": ("mqm", {}),
+    "SPM": ("spm", {}),
+    "MBM": ("mbm", {}),
+    "MBM-H2": ("mbm", {"use_heuristic3": False}),
+    "SPM-weiszfeld": ("spm", {"centroid_method": "weiszfeld"}),
+    "SPM-mean": ("spm", {"centroid_method": "mean"}),
+}
+
+DISK_VARIANTS = {
+    "GCP": "gcp",
+    "F-MQM": "fmqm",
+    "F-MBM": "fmbm",
+}
 
 
 @dataclass
@@ -99,30 +116,31 @@ def run_memory_setting(
     each other (a mismatch raises, because it would invalidate the whole
     measurement).
     """
-    result = MemoryWorkloadResult(setting=dict(setting or {}))
-    runners = {
-        "MQM": lambda query: mqm(tree, query),
-        "SPM": lambda query: spm(tree, query),
-        "MBM": lambda query: mbm(tree, query),
-        "MBM-H2": lambda query: mbm(tree, query, use_heuristic3=False),
-        "SPM-weiszfeld": lambda query: spm(tree, query, centroid_method="weiszfeld"),
-        "SPM-mean": lambda query: spm(tree, query, centroid_method="mean"),
-    }
     for name in algorithms:
-        if name not in runners:
-            raise ValueError(f"unknown memory-resident algorithm {name!r}")
-        result.averages[name] = AlgorithmAverages(algorithm=name)
+        if name not in MEMORY_VARIANTS:
+            raise ValueError(
+                f"unknown memory-resident algorithm {name!r}; "
+                f"expected one of {sorted(MEMORY_VARIANTS)}"
+            )
+    result = MemoryWorkloadResult(setting=dict(setting or {}))
+    context = ExecutionContext(tree=tree)
+    planner = QueryPlanner()
 
-    for group in query_groups:
-        reference_distances = None
-        for name in algorithms:
-            query = GroupQuery(group, k=k)
-            outcome = runners[name](query)
-            _accumulate(result.averages[name], outcome.cost)
+    reference: list[np.ndarray | None] = [None] * len(query_groups)
+    for name in algorithms:
+        averages = result.averages[name] = AlgorithmAverages(algorithm=name)
+        algorithm, options = MEMORY_VARIANTS[name]
+        specs = [
+            QuerySpec(group=group, k=k, algorithm=algorithm, options=options)
+            for group in query_groups
+        ]
+        outcomes = execute_batch(context, specs, planner=planner)
+        for index, outcome in enumerate(outcomes):
+            _accumulate(averages, outcome.cost)
             distances = np.array(outcome.distances())
-            if reference_distances is None:
-                reference_distances = distances
-            elif not np.allclose(distances, reference_distances, rtol=1e-8, atol=1e-8):
+            if reference[index] is None:
+                reference[index] = distances
+            elif not np.allclose(distances, reference[index], rtol=1e-8, atol=1e-8):
                 raise AssertionError(
                     f"algorithm {name} disagrees with {algorithms[0]} on a workload query"
                 )
@@ -145,32 +163,38 @@ def run_disk_setting(
     """Run the disk-resident algorithms for one placement of the query dataset.
 
     GCP gets an R-tree over the query points (the paper's indexed
-    setting); F-MQM and F-MBM get a Hilbert-sorted :class:`PointFile`
-    split into blocks of ``block_pages * points_per_page`` points.
+    setting); F-MQM and F-MBM get a Hilbert-sorted
+    :class:`~repro.storage.pointfile.PointFile` split into blocks of
+    ``block_pages * points_per_page`` points, built by the executor from
+    the spec's file-geometry options.
     """
     result = DiskWorkloadResult(setting=dict(setting or {}))
+    context = ExecutionContext(tree=tree)
+    planner = QueryPlanner()
     reference_distances = None
 
     for name in algorithms:
+        if name not in DISK_VARIANTS:
+            raise ValueError(
+                f"unknown disk-resident algorithm {name!r}; "
+                f"expected one of {sorted(DISK_VARIANTS)}"
+            )
         averages = AlgorithmAverages(algorithm=name)
         result.averages[name] = averages
         if name == "GCP":
-            query_tree = RTree.bulk_load(query_points, capacity=query_tree_capacity)
-            outcome = gcp(tree, query_tree, k=k, max_pairs=gcp_max_pairs)
-            if "aborted" in outcome.cost.algorithm:
-                averages.notes = "did not terminate within the pair cap"
-        elif name == "F-MQM":
-            query_file = PointFile(
-                query_points, points_per_page=points_per_page, block_pages=block_pages
-            )
-            outcome = fmqm(tree, query_file, k=k)
-        elif name == "F-MBM":
-            query_file = PointFile(
-                query_points, points_per_page=points_per_page, block_pages=block_pages
-            )
-            outcome = fmbm(tree, query_file, k=k)
+            options = {"query_tree_capacity": query_tree_capacity, "max_pairs": gcp_max_pairs}
         else:
-            raise ValueError(f"unknown disk-resident algorithm {name!r}")
+            options = {"points_per_page": points_per_page, "block_pages": block_pages}
+        spec = QuerySpec(
+            group=query_points,
+            k=k,
+            residency=DISK,
+            algorithm=DISK_VARIANTS[name],
+            options=options,
+        )
+        outcome = execute_spec(context, spec, planner=planner)
+        if name == "GCP" and "aborted" in outcome.cost.algorithm:
+            averages.notes = "did not terminate within the pair cap"
         _accumulate(averages, outcome.cost)
         _finalise(averages)
 

@@ -1,41 +1,51 @@
 """High-level facade over the GNN algorithms.
 
-:class:`GNNEngine` owns the R-tree for a dataset ``P`` and dispatches
-queries to the appropriate algorithm.  The ``"auto"`` policy encodes the
-recommendations of the paper's experimental study (Section 5):
+:class:`GNNEngine` owns the R-tree for a dataset ``P`` and answers
+declarative :class:`~repro.api.spec.QuerySpec` queries through the
+planner-based API:
 
-* memory-resident query groups → **MBM** (the clear winner in Figures
-  5.1-5.3);
-* disk-resident query files partitioned into a small number of blocks →
-  **F-MQM**, otherwise **F-MBM** (Figures 5.4-5.7 and the summary at the
-  end of Section 5.2).
+* :meth:`GNNEngine.execute` — plan and run one spec;
+* :meth:`GNNEngine.explain` — return the :class:`~repro.api.planner.QueryPlan`
+  (algorithm, rationale, cost estimate) without running anything;
+* :meth:`GNNEngine.execute_many` — the batch path: plans are cached,
+  memory-resident queries are scheduled in Hilbert order for buffer
+  locality, and brute-force specs share vectorised distance tensors.
+
+The ``"auto"`` policy lives in :class:`~repro.api.planner.QueryPlanner`
+and encodes the recommendations of the paper's experimental study
+(Section 5): MBM for memory-resident groups, F-MQM for disk-resident
+files in few blocks, F-MBM otherwise.
+
+The pre-planner entry points :meth:`GNNEngine.query` and
+:meth:`GNNEngine.query_disk` remain as thin deprecated shims over
+:meth:`GNNEngine.execute`.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from repro.core.aggregates import aggregate_gnn
-from repro.core.bruteforce import brute_force_gnn
-from repro.core.fmbm import fmbm
-from repro.core.fmqm import fmqm
-from repro.core.gcp import gcp
-from repro.core.mbm import mbm
-from repro.core.mqm import mqm
-from repro.core.spm import spm
-from repro.core.types import GNNResult, GroupQuery
+from repro.api.executor import ExecutionContext, execute_batch, execute_spec
+from repro.api.planner import AUTO_FMQM_MAX_BLOCKS, QueryPlan, QueryPlanner
+from repro.api.registry import available_algorithms
+from repro.api.spec import DISK, MEMORY, QuerySpec
+from repro.core.types import GNNResult
 from repro.geometry.point import as_points
 from repro.rtree.tree import DEFAULT_CAPACITY, RTree
 from repro.storage.buffer import LRUBuffer
 from repro.storage.pointfile import PointFile
 
-#: Block-count threshold below which the auto policy prefers F-MQM; the
-#: paper's PP-as-query experiments (3 blocks) favour F-MQM while the
-#: TS-as-query experiments (20 blocks) favour F-MBM.
-AUTO_FMQM_MAX_BLOCKS = 6
-
 MEMORY_ALGORITHMS = ("mqm", "spm", "mbm", "best-first", "brute-force")
 DISK_ALGORITHMS = ("fmqm", "fmbm", "gcp")
+
+__all__ = [
+    "AUTO_FMQM_MAX_BLOCKS",
+    "DISK_ALGORITHMS",
+    "GNNEngine",
+    "MEMORY_ALGORITHMS",
+]
 
 
 class GNNEngine:
@@ -50,7 +60,8 @@ class GNNEngine:
         R-tree node capacity (the paper's 1 KByte pages hold 50 entries).
     buffer_pages:
         Optional LRU buffer size in pages; when set, the engine reports
-        buffer-aware page faults in addition to logical node accesses.
+        buffer-aware page faults in addition to logical node accesses,
+        and the buffer stays reachable as :attr:`buffer`.
     bulk_method:
         Packing strategy used to build the tree (``"str"`` or ``"hilbert"``).
     """
@@ -63,13 +74,47 @@ class GNNEngine:
         bulk_method: str = "str",
     ):
         self.points = as_points(data_points)
-        buffer = LRUBuffer(buffer_pages) if buffer_pages else None
+        self.buffer = LRUBuffer(buffer_pages) if buffer_pages else None
         self.tree = RTree.bulk_load(
-            self.points, capacity=capacity, method=bulk_method, buffer=buffer
+            self.points, capacity=capacity, method=bulk_method, buffer=self.buffer
         )
+        self.planner = QueryPlanner(self)
 
     # ------------------------------------------------------------------
-    # memory-resident queries (Section 3)
+    # planner-based API
+    # ------------------------------------------------------------------
+    def execute(self, spec: QuerySpec) -> GNNResult:
+        """Plan and execute one declarative query spec."""
+        return execute_spec(self._context(), spec, planner=self.planner)
+
+    def explain(self, spec: QuerySpec) -> QueryPlan:
+        """Return the plan for ``spec`` (algorithm, rationale, cost estimate).
+
+        Nothing is executed; ``plan.describe()`` renders the decision as
+        human-readable text.
+        """
+        return self.planner.plan(spec)
+
+    def execute_many(self, specs) -> list[GNNResult]:
+        """Execute a batch of specs; results come back in input order.
+
+        The batch path amortises work across queries — plans are cached
+        by spec signature, memory-resident groups run in Hilbert order of
+        their centroids (so an LRU buffer keeps the touched subtrees
+        hot), and brute-force specs share chunked distance tensors — while
+        returning exactly the results of per-spec :meth:`execute` calls.
+        """
+        return execute_batch(self._context(), specs, planner=self.planner)
+
+    def algorithms(self, residency: str | None = None):
+        """Registered algorithm metadata (optionally filtered by residency)."""
+        return available_algorithms(residency)
+
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(tree=self.tree, points=self.points, buffer=self.buffer)
+
+    # ------------------------------------------------------------------
+    # deprecated pre-planner entry points
     # ------------------------------------------------------------------
     def query(
         self,
@@ -80,39 +125,30 @@ class GNNEngine:
         weights=None,
         **options,
     ) -> GNNResult:
-        """Answer a GNN query whose group fits in memory.
+        """Deprecated: build a :class:`QuerySpec` and call :meth:`execute`.
 
-        ``algorithm`` is one of ``"auto"``, ``"mqm"``, ``"spm"``,
-        ``"mbm"``, ``"best-first"`` (the aggregate-generalised optimal
-        traversal) or ``"brute-force"``.  Additional keyword options are
-        forwarded to the selected algorithm (for example
-        ``traversal="depth_first"`` for SPM/MBM or
-        ``use_heuristic3=False`` for the MBM ablation).
+        Kept as a thin shim for pre-planner callers; ``algorithm`` is one
+        of ``"auto"``, ``"mqm"``, ``"spm"``, ``"mbm"``, ``"best-first"``
+        or ``"brute-force"`` and extra keyword options are forwarded to
+        the selected algorithm.
         """
-        query = GroupQuery(query_points, k=k, aggregate=aggregate, weights=weights)
-        name = algorithm.lower()
-        if name == "auto":
-            # MBM is the paper's overall winner for memory-resident groups,
-            # but it is only defined for the sum aggregate; other
-            # aggregates use the generalised best-first traversal.
-            name = "mbm" if aggregate == "sum" and weights is None else "best-first"
-        if name == "mqm":
-            return mqm(self.tree, query)
-        if name == "spm":
-            return spm(self.tree, query, **options)
-        if name == "mbm":
-            return mbm(self.tree, query, **options)
-        if name == "best-first":
-            return aggregate_gnn(self.tree, query)
-        if name == "brute-force":
-            return brute_force_gnn(self.points, query)
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected 'auto' or one of {MEMORY_ALGORITHMS}"
+        warnings.warn(
+            "GNNEngine.query is deprecated; build a QuerySpec and use "
+            "GNNEngine.execute instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        spec = QuerySpec(
+            group=query_points,
+            k=k,
+            aggregate=aggregate,
+            weights=weights,
+            residency=MEMORY,
+            algorithm=algorithm,
+            options=options,
+        )
+        return self.execute(spec)
 
-    # ------------------------------------------------------------------
-    # disk-resident queries (Section 4)
-    # ------------------------------------------------------------------
     def query_disk(
         self,
         query_points=None,
@@ -124,38 +160,33 @@ class GNNEngine:
         query_tree_capacity: int = DEFAULT_CAPACITY,
         **options,
     ) -> GNNResult:
-        """Answer a GNN query whose group does not fit in memory.
+        """Deprecated: build a disk-resident :class:`QuerySpec` and execute it.
 
-        Either pass the raw ``query_points`` (a :class:`PointFile` is
-        built with the given page/block geometry) or an existing
-        ``query_file``.  ``algorithm`` is ``"auto"``, ``"fmqm"``,
-        ``"fmbm"`` or ``"gcp"`` (the latter builds an R-tree over the
-        query set, matching the paper's indexed-query setting).
+        Kept as a thin shim for pre-planner callers; ``algorithm`` is
+        ``"auto"``, ``"fmqm"``, ``"fmbm"`` or ``"gcp"``.
         """
-        name = algorithm.lower()
-        if name == "gcp":
-            if query_points is None:
-                raise ValueError("GCP needs the raw query points to build the query R-tree")
-            query_tree = RTree.bulk_load(as_points(query_points), capacity=query_tree_capacity)
-            return gcp(self.tree, query_tree, k=k, **options)
-
-        if query_file is None:
-            if query_points is None:
-                raise ValueError("either query_points or query_file must be provided")
-            query_file = PointFile(
-                as_points(query_points),
-                points_per_page=points_per_page,
-                block_pages=block_pages,
-            )
-        if name == "auto":
-            name = "fmqm" if query_file.block_count <= AUTO_FMQM_MAX_BLOCKS else "fmbm"
-        if name == "fmqm":
-            return fmqm(self.tree, query_file, k=k, **options)
-        if name == "fmbm":
-            return fmbm(self.tree, query_file, k=k, **options)
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; expected 'auto' or one of {DISK_ALGORITHMS}"
+        warnings.warn(
+            "GNNEngine.query_disk is deprecated; build a QuerySpec with "
+            "residency='disk' and use GNNEngine.execute instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
+        spec_options = {
+            "points_per_page": points_per_page,
+            "block_pages": block_pages,
+            **options,
+        }
+        if str(algorithm).lower() == "gcp":
+            spec_options["query_tree_capacity"] = query_tree_capacity
+        spec = QuerySpec(
+            group=query_points,
+            group_file=query_file,
+            k=k,
+            residency=DISK,
+            algorithm=algorithm,
+            options=spec_options,
+        )
+        return self.execute(spec)
 
     # ------------------------------------------------------------------
     # maintenance
@@ -163,6 +194,13 @@ class GNNEngine:
     def insert(self, point) -> int:
         """Insert a new data point into the index; returns its record id."""
         point = np.asarray(point, dtype=np.float64)
+        if point.ndim != 1 or point.shape[0] != self.points.shape[1]:
+            raise ValueError(
+                f"inserted point must be a flat vector of dimension "
+                f"{self.points.shape[1]}, got shape {point.shape}"
+            )
+        if not np.all(np.isfinite(point)):
+            raise ValueError("inserted point must have finite coordinates")
         record_id = self.tree.insert(point, record_id=len(self.points))
         self.points = np.vstack([self.points, point.reshape(1, -1)])
         return record_id

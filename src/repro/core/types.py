@@ -202,10 +202,16 @@ class QueryCost:
 
 @dataclass
 class GNNResult:
-    """The outcome of a GNN query: the neighbors plus the cost of finding them."""
+    """The outcome of a GNN query: the neighbors plus the cost of finding them.
+
+    ``plan`` is attached by the executor when the spec asked for tracing
+    (``QuerySpec(trace=True)``); it carries the planner's algorithm
+    choice, rationale and cost estimate alongside the measured cost.
+    """
 
     neighbors: list[GroupNeighbor] = field(default_factory=list)
     cost: QueryCost = field(default_factory=QueryCost)
+    plan: object | None = None
 
     @property
     def best(self) -> GroupNeighbor | None:

@@ -1,0 +1,191 @@
+"""Tests for the executor layer: execute, execute_many, shims, maintenance."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import QuerySpec
+from repro.core.engine import GNNEngine
+from repro.storage.pointfile import PointFile
+
+
+class TestExecute:
+    def test_execute_matches_brute_force(self, engine, rng):
+        group = rng.uniform(100, 900, size=(8, 2))
+        reference = engine.execute(QuerySpec(group=group, k=4, algorithm="brute-force"))
+        for algorithm in ("mqm", "spm", "mbm", "best-first"):
+            result = engine.execute(QuerySpec(group=group, k=4, algorithm=algorithm))
+            assert result.distances() == pytest.approx(reference.distances())
+
+    def test_execute_forwards_options(self, engine, rng):
+        group = rng.uniform(100, 900, size=(6, 2))
+        result = engine.execute(
+            QuerySpec(group=group, k=2, algorithm="spm", options={"traversal": "depth_first"})
+        )
+        assert "depth_first" in result.cost.algorithm
+
+    def test_execute_disk_from_group_file(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(120, 2))
+        file = PointFile(queries, points_per_page=20, block_pages=2)
+        result = engine.execute(QuerySpec(group_file=file, k=1, algorithm="fmbm"))
+        reference = engine.execute(QuerySpec(group=queries, k=1, algorithm="brute-force"))
+        assert result.distances() == pytest.approx(reference.distances())
+
+    def test_execute_disk_builds_file_from_points(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(150, 2))
+        spec = QuerySpec(
+            group=queries,
+            k=3,
+            residency="disk",
+            options={"points_per_page": 50, "block_pages": 2},
+        )
+        result = engine.execute(spec)
+        reference = engine.execute(QuerySpec(group=queries, k=3, algorithm="brute-force"))
+        assert result.distances() == pytest.approx(reference.distances())
+
+    def test_execute_unknown_algorithm_raises(self, engine):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            engine.execute(QuerySpec(group=[[0.0, 0.0]], algorithm="quantum"))
+
+
+class TestExecuteMany:
+    def test_batch_of_100_matches_per_query_execute(self, engine, rng):
+        """Acceptance: >= 100 memory-resident groups, identical results."""
+        specs = []
+        for _ in range(100):
+            n = int(rng.integers(2, 12))
+            center = rng.uniform(100, 900, size=2)
+            group = rng.uniform(center - 120, center + 120, size=(n, 2))
+            specs.append(QuerySpec(group=group, k=int(rng.integers(1, 5))))
+        batch = engine.execute_many(specs)
+        assert len(batch) == 100
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+
+    def test_batch_mixes_algorithms_and_aggregates(self, engine, rng):
+        group = rng.uniform(200, 800, size=(6, 2))
+        specs = [
+            QuerySpec(group=group, k=3),
+            QuerySpec(group=group, k=3, aggregate="max"),
+            QuerySpec(group=group, k=3, algorithm="mqm"),
+            QuerySpec(group=group, k=3, algorithm="brute-force"),
+            QuerySpec(group=group, k=3, weights=np.full(6, 2.0)),
+        ]
+        batch = engine.execute_many(specs)
+        reference = engine.execute(specs[0])
+        assert batch[0].distances() == pytest.approx(reference.distances())
+        assert batch[2].distances() == pytest.approx(reference.distances())
+        assert batch[3].distances() == pytest.approx(reference.distances())
+        labels = [outcome.cost.algorithm for outcome in batch]
+        assert labels[1].startswith("best-first")
+        assert labels[3] == "brute-force"
+
+    def test_vectorised_brute_force_batch_is_identical(self, engine, rng):
+        """The shared-tensor scan must reproduce per-query answers exactly."""
+        specs = []
+        for _ in range(30):
+            group = rng.uniform(0, 1000, size=(5, 2))
+            specs.append(QuerySpec(group=group, k=4, algorithm="brute-force"))
+        specs.append(QuerySpec(group=rng.uniform(0, 1000, size=(5, 2)), k=4,
+                               algorithm="brute-force", aggregate="max"))
+        batch = engine.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+            assert outcome.cost.distance_computations == single.cost.distance_computations
+
+    def test_batch_includes_disk_specs(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(120, 2))
+        specs = [
+            QuerySpec(group=rng.uniform(200, 800, size=(4, 2)), k=2),
+            QuerySpec(
+                group=queries,
+                k=2,
+                residency="disk",
+                options={"points_per_page": 20, "block_pages": 2},
+            ),
+        ]
+        batch = engine.execute_many(specs)
+        assert batch[1].distances() == pytest.approx(
+            engine.execute(QuerySpec(group=queries, k=2, algorithm="brute-force")).distances()
+        )
+
+    def test_empty_batch(self, engine):
+        assert engine.execute_many([]) == []
+
+    def test_traced_specs_keep_their_plan_in_batches(self, engine, rng):
+        group = rng.uniform(0, 1000, size=(4, 2))
+        specs = [
+            QuerySpec(group=group, k=2, algorithm="brute-force", trace=True),
+            QuerySpec(group=group, k=2, trace=True),
+            QuerySpec(group=group, k=2),
+        ]
+        batch = engine.execute_many(specs)
+        assert batch[0].plan is not None and batch[0].plan.algorithm.name == "brute-force"
+        assert batch[1].plan is not None and batch[1].plan.algorithm.name == "mbm"
+        assert batch[2].plan is None
+
+    def test_batch_with_buffer_keeps_answers(self, small_points, rng):
+        buffered = GNNEngine(small_points, capacity=8, buffer_pages=64)
+        specs = [
+            QuerySpec(group=rng.uniform(100, 900, size=(4, 2)), k=3) for _ in range(40)
+        ]
+        batch = buffered.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            single = buffered.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+
+
+class TestDeprecatedShims:
+    def test_query_warns_and_delegates(self, engine, rng):
+        group = rng.uniform(200, 800, size=(5, 2))
+        with pytest.warns(DeprecationWarning, match="GNNEngine.execute"):
+            legacy = engine.query(group, k=2)
+        modern = engine.execute(QuerySpec(group=group, k=2))
+        assert legacy.record_ids() == modern.record_ids()
+        assert legacy.cost.algorithm == modern.cost.algorithm
+
+    def test_query_disk_warns_and_delegates(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(150, 2))
+        with pytest.warns(DeprecationWarning, match="residency='disk'"):
+            legacy = engine.query_disk(queries, k=2, block_pages=2)
+        modern = engine.execute(
+            QuerySpec(
+                group=queries,
+                k=2,
+                residency="disk",
+                options={"points_per_page": 50, "block_pages": 2},
+            )
+        )
+        assert legacy.record_ids() == modern.record_ids()
+
+    def test_query_disk_gcp_still_works_via_shim(self, engine, rng):
+        queries = rng.uniform(300, 700, size=(60, 2))
+        with pytest.warns(DeprecationWarning):
+            result = engine.query_disk(queries, k=2, algorithm="gcp", query_tree_capacity=16)
+        reference = engine.execute(QuerySpec(group=queries, k=2, algorithm="brute-force"))
+        assert result.distances() == pytest.approx(reference.distances())
+
+
+class TestMaintenance:
+    def test_insert_validates_dimensionality(self, small_points):
+        engine = GNNEngine(small_points[:50], capacity=8)
+        with pytest.raises(ValueError, match="dimension 2"):
+            engine.insert([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError, match="dimension 2"):
+            engine.insert([[1.0, 2.0]])
+        with pytest.raises(ValueError, match="finite"):
+            engine.insert([1.0, float("nan")])
+        # The failed inserts must not have corrupted the dataset.
+        assert engine.points.shape == (50, 2)
+        assert engine.insert([123.0, 456.0]) == 50
+        assert len(engine) == 51
+
+    def test_buffer_is_reachable(self, small_points):
+        engine = GNNEngine(small_points[:50], capacity=8, buffer_pages=16)
+        assert engine.buffer is not None
+        assert GNNEngine(small_points[:50], capacity=8).buffer is None
