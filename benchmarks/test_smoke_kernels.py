@@ -1,0 +1,85 @@
+"""Smoke benchmarks guarding the vectorised kernel layer.
+
+Selected with ``-k smoke`` (the CI job runs exactly that): a
+seconds-long subset that fails loudly if the kernel layer regresses to
+per-point Python-loop speed or drifts from the scalar arithmetic,
+without slowing the main test job down.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets.workload import WorkloadSpec, generate_workload
+from repro.geometry import kernels
+from repro.geometry.distance import group_distance
+from repro.bench.runner import run_memory_setting
+
+#: The vectorised kernel is ~50-100x faster than the scalar loop on this
+#: shape; 3x leaves a huge margin against CI noise while still catching
+#: any fallback to per-point evaluation.
+MIN_SPEEDUP = 3.0
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_smoke_kernel_beats_scalar_loop(benchmark):
+    """One kernel call over a leaf-sized array must beat the scalar loop."""
+    rng = np.random.default_rng(123)
+    candidates = rng.uniform(0, 1000, size=(2_000, 2))
+    group = rng.uniform(0, 1000, size=(64, 2))
+    scalar_subset = candidates[:200]
+
+    scalar_time = _best_of(
+        3, lambda: [group_distance(p, group) for p in scalar_subset]
+    ) / scalar_subset.shape[0]
+    kernel_time = benchmark(
+        lambda: kernels.aggregate_distances(candidates, group)
+    )  # pytest-benchmark returns the function result, timings go to the report
+    kernel_per_point = _best_of(3, lambda: kernels.aggregate_distances(candidates, group))
+    kernel_per_point /= candidates.shape[0]
+
+    speedup = scalar_time / kernel_per_point
+    benchmark.extra_info["speedup_vs_scalar"] = round(speedup, 1)
+    assert speedup >= MIN_SPEEDUP, (
+        f"kernel path is only {speedup:.1f}x faster than the scalar loop "
+        f"(expected >= {MIN_SPEEDUP}x) — vectorisation has regressed"
+    )
+    # and it must still be the *same* arithmetic
+    assert np.array_equal(
+        kernels.aggregate_distances(scalar_subset, group),
+        [group_distance(p, group) for p in scalar_subset],
+    )
+
+
+def test_smoke_memory_algorithms_cross_check(benchmark, datasets, scale):
+    """SPM/MBM at the paper's fixed cardinality, answers cross-checked.
+
+    ``run_memory_setting`` raises if the algorithms disagree, so this
+    doubles as an end-to-end equivalence smoke test of the kernelised
+    traversals at benchmark scale.
+    """
+    points, tree = datasets["pp"]
+    spec = WorkloadSpec(
+        n=64, mbr_fraction=scale.fixed_mbr_fraction, k=scale.fixed_k, queries=2
+    )
+    groups = generate_workload(points, spec, seed=17)
+
+    result = benchmark.pedantic(
+        lambda: run_memory_setting(tree, groups, k=spec.k, algorithms=("SPM", "MBM")),
+        rounds=1,
+        iterations=1,
+    )
+    for name, averages in result.averages.items():
+        assert averages.node_accesses > 0, name
+        benchmark.extra_info[f"{name}_node_accesses"] = round(averages.node_accesses, 1)
+        benchmark.extra_info[f"{name}_cpu_per_query"] = averages.cpu_time

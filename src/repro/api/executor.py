@@ -36,6 +36,7 @@ from repro.api.planner import (
 )
 from repro.api.spec import MEMORY, QuerySpec
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
+from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_indices
 from repro.rtree.tree import RTree
 from repro.storage.buffer import LRUBuffer
@@ -178,9 +179,10 @@ def _batched_brute_force(
 
     Groups are bucketed by (aggregate, cardinality) so each bucket stacks
     into a dense ``(g, n, dims)`` array; buckets are processed in chunks
-    bounded by :data:`BATCH_TENSOR_ELEMENT_CAP`.  The arithmetic mirrors
-    :func:`repro.geometry.distance.group_distances_bulk` axis-for-axis so
-    the resulting distances are bitwise identical to the per-query path.
+    bounded by :data:`BATCH_TENSOR_ELEMENT_CAP`.  The tensor arithmetic
+    lives in :func:`repro.geometry.kernels.batched_aggregate_distances`,
+    which mirrors the per-query kernel axis for axis so the resulting
+    distances are bitwise identical to the per-query path.
     """
     if not indices:
         return
@@ -196,14 +198,7 @@ def _batched_brute_force(
             members = bucket[start : start + chunk]
             started = time.perf_counter()
             groups = np.stack([specs[i].group for i in members])  # (g, n, dims)
-            delta = pts[None, :, None, :] - groups[:, None, :, :]
-            matrix = np.sqrt(np.sum(delta * delta, axis=3))  # (g, N, n)
-            if aggregate == "sum":
-                distances = matrix.sum(axis=2)
-            elif aggregate == "max":
-                distances = matrix.max(axis=2)
-            else:
-                distances = matrix.min(axis=2)
+            distances = kernels.batched_aggregate_distances(pts, groups, aggregate)  # (g, N)
             elapsed = (time.perf_counter() - started) / len(members)
             for row, i in enumerate(members):
                 yield i, _topk_result(

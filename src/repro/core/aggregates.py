@@ -40,7 +40,17 @@ def group_nn_stream(tree: RTree, query: GroupQuery) -> Iterator[Neighbor]:
         tree.stats.record_distance_computations(query.cardinality)
         return query.distance_to(point)
 
-    return incremental_nearest_generic(tree, node_key, point_key)
+    def points_key(points):
+        tree.stats.record_distance_computations(query.cardinality * points.shape[0])
+        return query.distances_to(points)
+
+    def mbrs_key(lows, highs):
+        tree.stats.record_distance_computations(query.cardinality * lows.shape[0])
+        return query.mindist_lower_bounds(lows, highs)
+
+    return incremental_nearest_generic(
+        tree, node_key, point_key, points_key=points_key, mbrs_key=mbrs_key
+    )
 
 
 def aggregate_gnn(tree: RTree, query: GroupQuery) -> GNNResult:

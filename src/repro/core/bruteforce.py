@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.geometry.distance import group_distances_bulk
+from repro.geometry import kernels
 from repro.geometry.point import as_points
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 
@@ -22,11 +22,12 @@ def brute_force_gnn(points, query: GroupQuery) -> GNNResult:
     """Return the exact top-k group neighbors by exhaustive scan.
 
     ``points`` is the full dataset ``P`` as an ``(N, dims)`` array whose
-    row indices serve as record ids.
+    row indices serve as record ids.  The whole scan is a single call of
+    the aggregate-distance kernel (weights were validated by the query).
     """
     started = time.perf_counter()
     pts = as_points(points)
-    distances = group_distances_bulk(
+    distances = kernels.aggregate_distances(
         pts, query.points, weights=query.weights, aggregate=query.aggregate
     )
     k = min(query.k, pts.shape[0])

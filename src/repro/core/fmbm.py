@@ -22,10 +22,18 @@ from __future__ import annotations
 import heapq
 import itertools
 
-from repro.core.heuristics import heuristic5_prunes, heuristic6_prunes, weighted_mindist
+import numpy as np
+
+from repro.core.heuristics import (
+    heuristic5_prunes,
+    heuristic5_prunes_batch,
+    heuristic6_prunes,
+    stack_summaries,
+    weighted_mindist_batch,
+)
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult
-from repro.geometry.distance import group_distance
+from repro.geometry import kernels
 from repro.rtree.tree import RTree
 from repro.storage.pointfile import PointFile
 
@@ -65,11 +73,12 @@ def fmbm(
         return GNNResult(neighbors=[], cost=tracker.finish())
 
     summaries = _collect_summaries(query_file, charge_summary_scan)
+    stacked = stack_summaries(summaries)
 
     if traversal == "best_first":
-        _fmbm_best_first(tree, query_file, summaries, best)
+        _fmbm_best_first(tree, query_file, summaries, stacked, best)
     else:
-        _fmbm_depth_first(tree, tree.root, query_file, summaries, best)
+        _fmbm_depth_first(tree, tree.root, query_file, summaries, stacked, best)
     return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
 
 
@@ -91,8 +100,13 @@ def _collect_summaries(query_file: PointFile, charge_summary_scan: bool):
     return summaries
 
 
-def _fmbm_best_first(tree, query_file, summaries, best) -> None:
-    """Best-first traversal ordered by the weighted mindist of Heuristic 5."""
+def _fmbm_best_first(tree, query_file, summaries, stacked, best) -> None:
+    """Best-first traversal ordered by the weighted mindist of Heuristic 5.
+
+    ``stacked`` holds the summaries' (lows, highs, cardinalities) arrays
+    so each popped node scores its whole child list in one kernel call.
+    """
+    summary_lows, summary_highs, cardinalities = stacked
     counter = itertools.count()
     heap = [(0.0, next(counter), tree.root)]
     while heap:
@@ -101,49 +115,62 @@ def _fmbm_best_first(tree, query_file, summaries, best) -> None:
             break
         node = tree.read_node(node)
         if node.is_leaf:
-            _process_leaf(tree, node, query_file, summaries, best)
+            _process_leaf(tree, node, query_file, summaries, stacked, best)
             continue
-        for entry in node.entries:
-            child_bound = weighted_mindist(entry.mbr, summaries)
-            tree.stats.record_distance_computations(len(summaries))
-            if best.is_full() and heuristic5_prunes(child_bound, best.best_dist):
-                continue
-            heapq.heappush(heap, (child_bound, next(counter), entry.child))
+        lows, highs = node.child_bounds()
+        child_bounds = weighted_mindist_batch(
+            lows, highs, summary_lows, summary_highs, cardinalities
+        )
+        tree.stats.record_distance_computations(len(summaries) * len(node.entries))
+        if best.is_full():
+            survives = ~heuristic5_prunes_batch(child_bounds, best.best_dist)
+        else:
+            survives = np.ones(len(node.entries), dtype=bool)
+        for index in np.flatnonzero(survives):
+            heapq.heappush(
+                heap, (float(child_bounds[index]), next(counter), node.entries[index].child)
+            )
 
 
-def _fmbm_depth_first(tree, node, query_file, summaries, best) -> None:
+def _fmbm_depth_first(tree, node, query_file, summaries, stacked, best) -> None:
     """Depth-first traversal following Figure 4.7 of the paper."""
+    summary_lows, summary_highs, cardinalities = stacked
     node = tree.read_node(node)
     if node.is_leaf:
-        _process_leaf(tree, node, query_file, summaries, best)
+        _process_leaf(tree, node, query_file, summaries, stacked, best)
         return
-    ranked = []
-    for entry in node.entries:
-        bound = weighted_mindist(entry.mbr, summaries)
-        tree.stats.record_distance_computations(len(summaries))
-        ranked.append((bound, entry))
-    ranked.sort(key=lambda item: item[0])
-    for bound, entry in ranked:
-        if best.is_full() and heuristic5_prunes(bound, best.best_dist):
+    lows, highs = node.child_bounds()
+    bounds = weighted_mindist_batch(lows, highs, summary_lows, summary_highs, cardinalities)
+    tree.stats.record_distance_computations(len(summaries) * len(node.entries))
+    for index in np.argsort(bounds, kind="stable"):
+        if best.is_full() and heuristic5_prunes(float(bounds[index]), best.best_dist):
             break
-        _fmbm_depth_first(tree, entry.child, query_file, summaries, best)
+        _fmbm_depth_first(
+            tree, node.entries[index].child, query_file, summaries, stacked, best
+        )
 
 
-def _process_leaf(tree, node, query_file, summaries, best) -> None:
+def _process_leaf(tree, node, query_file, summaries, stacked, best) -> None:
     """Accumulate exact block distances for the points of one leaf node.
 
     Implements the leaf-level loop of Figure 4.7: points are ordered by
-    weighted mindist, blocks are read in descending ``mindist(N, M_i)``
-    order, and Heuristic 6 drops points as soon as their optimistic
-    completion can no longer beat ``best_dist``.
+    weighted mindist (one kernel call for the whole leaf), blocks are
+    read in descending ``mindist(N, M_i)`` order, Heuristic 6 drops
+    points as soon as their optimistic completion can no longer beat
+    ``best_dist``, and each block's exact distances are accumulated for
+    all still-alive points in one kernel call.
     """
+    summary_lows, summary_highs, cardinalities = stacked
     node_mbr = node.compute_mbr()
+    coords = node.points_array()
+    bounds = kernels.points_weighted_group_mindist(
+        coords, summary_lows, summary_highs, cardinalities
+    )
+    tree.stats.record_distance_computations(len(summaries) * len(node.entries))
     # Survivors: list of [entry, accumulated_distance].
     survivors = []
-    for entry in node.entries:
-        bound = weighted_mindist(entry.point, summaries)
-        tree.stats.record_distance_computations(len(summaries))
-        if best.is_full() and heuristic5_prunes(bound, best.best_dist):
+    for index, entry in enumerate(node.entries):
+        if best.is_full() and heuristic5_prunes(float(bounds[index]), best.best_dist):
             continue
         survivors.append([entry, 0.0])
     if not survivors:
@@ -161,17 +188,22 @@ def _process_leaf(tree, node, query_file, summaries, best) -> None:
             return
         remaining = ordered_blocks[position + 1 :]
         block = query_file.read_block(summary.index)
-        still_alive = []
-        for item in survivors:
-            entry, accumulated = item
-            if best.is_full() and heuristic6_prunes(
-                entry.point, accumulated, [summary] + remaining, best.best_dist
-            ):
-                continue
-            accumulated += group_distance(entry.point, block.points)
-            tree.stats.record_distance_computations(block.cardinality)
-            item[1] = accumulated
-            still_alive.append(item)
+        still_alive = [
+            item
+            for item in survivors
+            if not (
+                best.is_full()
+                and heuristic6_prunes(
+                    item[0].point, item[1], [summary] + remaining, best.best_dist
+                )
+            )
+        ]
+        if still_alive:
+            stacked_points = np.array([item[0].point for item in still_alive])
+            contributions = kernels.aggregate_distances(stacked_points, block.points)
+            tree.stats.record_distance_computations(block.cardinality * len(still_alive))
+            for item, contribution in zip(still_alive, contributions):
+                item[1] += float(contribution)
         survivors = still_alive
 
     for entry, accumulated in survivors:

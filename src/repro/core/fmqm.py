@@ -19,8 +19,11 @@ visit.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult
+from repro.geometry import kernels
 from repro.geometry.distance import group_distance, group_mindist
 from repro.rtree.traversal import incremental_nearest_generic
 from repro.rtree.tree import RTree
@@ -83,7 +86,15 @@ def fmqm(tree: RTree, query_file: PointFile, k: int = 1) -> GNNResult:
             def point_key(point, _points=block.points):
                 return group_distance(point, _points)
 
-            streams[index] = incremental_nearest_generic(tree, node_key, point_key)
+            def points_key(points, _points=block.points):
+                return kernels.aggregate_distances(points, _points)
+
+            def mbrs_key(lows, highs, _points=block.points):
+                return kernels.boxes_group_mindist(lows, highs, _points)
+
+            streams[index] = incremental_nearest_generic(
+                tree, node_key, point_key, points_key=points_key, mbrs_key=mbrs_key
+            )
         return streams[index]
 
     while True:
@@ -110,16 +121,23 @@ def fmqm(tree: RTree, query_file: PointFile, k: int = 1) -> GNNResult:
                         pending[record_id] = candidate
 
             # While Q_j is resident, accumulate its contribution to every
-            # pending candidate that has not seen it yet.
+            # pending candidate that has not seen it yet — one kernel call
+            # for the whole waiting set.
+            waiting = [
+                (record_id, candidate)
+                for record_id, candidate in pending.items()
+                if j not in candidate.blocks_seen
+            ]
             completed_now = []
-            for record_id, candidate in pending.items():
-                if j in candidate.blocks_seen:
-                    continue
-                candidate.accumulated += group_distance(candidate.point, block.points)
-                tree.stats.record_distance_computations(block.cardinality)
-                candidate.blocks_seen.add(j)
-                if len(candidate.blocks_seen) == block_count:
-                    completed_now.append(record_id)
+            if waiting:
+                stacked = np.array([candidate.point for _, candidate in waiting])
+                contributions = kernels.aggregate_distances(stacked, block.points)
+                tree.stats.record_distance_computations(block.cardinality * len(waiting))
+                for (record_id, candidate), contribution in zip(waiting, contributions):
+                    candidate.accumulated += float(contribution)
+                    candidate.blocks_seen.add(j)
+                    if len(candidate.blocks_seen) == block_count:
+                        completed_now.append(record_id)
             for record_id in completed_now:
                 candidate = pending.pop(record_id)
                 finished.add(record_id)
@@ -141,9 +159,11 @@ def fmqm(tree: RTree, query_file: PointFile, k: int = 1) -> GNNResult:
             if not waiting:
                 continue
             block = query_file.read_block(j)
-            for candidate in waiting:
-                candidate.accumulated += group_distance(candidate.point, block.points)
-                tree.stats.record_distance_computations(block.cardinality)
+            stacked = np.array([candidate.point for candidate in waiting])
+            contributions = kernels.aggregate_distances(stacked, block.points)
+            tree.stats.record_distance_computations(block.cardinality * len(waiting))
+            for candidate, contribution in zip(waiting, contributions):
+                candidate.accumulated += float(contribution)
                 candidate.blocks_seen.add(j)
         for record_id, candidate in pending.items():
             best.offer(record_id, candidate.point, candidate.accumulated)

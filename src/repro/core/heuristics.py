@@ -26,6 +26,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.geometry import kernels
 from repro.geometry.distance import euclidean, group_distance
 from repro.geometry.mbr import MBR
 
@@ -69,11 +70,24 @@ def heuristic1_prunes_point(
     )
 
 
-def heuristic2_prunes(mindist_to_query_mbr: float, best_dist: float, group_cardinality: int) -> bool:
-    """Heuristic 2: prune node (or point) when ``mindist(N, M) >= best_dist / n``."""
-    if group_cardinality < 1:
-        raise ValueError("the query group must contain at least one point")
+def heuristic2_prunes(mindist_to_query_mbr: float, best_dist: float, group_cardinality: float) -> bool:
+    """Heuristic 2: prune node (or point) when ``mindist(N, M) >= best_dist / n``.
+
+    ``group_cardinality`` generalises to the total weight for weighted
+    queries, so any positive value is accepted.
+    """
+    if group_cardinality <= 0:
+        raise ValueError("the query group must have positive cardinality/weight")
     return mindist_to_query_mbr >= best_dist / group_cardinality
+
+
+def heuristic2_prunes_batch(
+    mindists_to_query_mbr: np.ndarray, best_dist: float, group_cardinality: float
+) -> np.ndarray:
+    """Vectorised :func:`heuristic2_prunes` for an array of mindists."""
+    if group_cardinality <= 0:
+        raise ValueError("the query group must have positive cardinality/weight")
+    return mindists_to_query_mbr >= best_dist / group_cardinality
 
 
 def heuristic3_prunes(mbr: MBR, query_points: np.ndarray, best_dist: float) -> bool:
@@ -85,6 +99,11 @@ def heuristic3_prunes(mbr: MBR, query_points: np.ndarray, best_dist: float) -> b
 def heuristic3_prunes_precomputed(summed_mindist: float, best_dist: float) -> bool:
     """Heuristic 3 when the caller already summed the per-query mindists."""
     return summed_mindist >= best_dist
+
+
+def heuristic3_prunes_batch(summed_mindists: np.ndarray, best_dist: float) -> np.ndarray:
+    """Vectorised :func:`heuristic3_prunes_precomputed` for an array of bounds."""
+    return summed_mindists >= best_dist
 
 
 def heuristic4_prunes(
@@ -125,25 +144,53 @@ def gcp_candidate_threshold(
     return (best_dist - accumulated_distance) / remaining
 
 
+def stack_summaries(block_summaries) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack block summaries into (lows, highs, cardinalities) kernel inputs."""
+    lows = np.array([summary.mbr.low for summary in block_summaries], dtype=np.float64)
+    highs = np.array([summary.mbr.high for summary in block_summaries], dtype=np.float64)
+    cards = np.array([summary.cardinality for summary in block_summaries], dtype=np.float64)
+    return lows, highs, cards
+
+
 def weighted_mindist(mbr_or_point, block_summaries) -> float:
     """The weighted mindist of Heuristic 5: ``sum_i n_i * mindist(N, M_i)``.
 
     Accepts either an :class:`~repro.geometry.mbr.MBR` (node pruning) or
-    a point (leaf-level ordering in F-MBM).
+    a point (leaf-level ordering in F-MBM).  The batched form used on the
+    hot path is :func:`weighted_mindist_batch`.
     """
-    total = 0.0
+    lows, highs, cards = stack_summaries(block_summaries)
     if isinstance(mbr_or_point, MBR):
-        for summary in block_summaries:
-            total += summary.cardinality * mbr_or_point.mindist_mbr(summary.mbr)
+        values = kernels.boxes_weighted_group_mindist(
+            mbr_or_point.low[None, :], mbr_or_point.high[None, :], lows, highs, cards
+        )
     else:
-        for summary in block_summaries:
-            total += summary.cardinality * summary.mbr.mindist_point(mbr_or_point)
-    return total
+        point = np.asarray(mbr_or_point, dtype=np.float64)
+        values = kernels.points_weighted_group_mindist(point[None, :], lows, highs, cards)
+    return float(values[0])
+
+
+def weighted_mindist_batch(
+    lows: np.ndarray,
+    highs: np.ndarray,
+    summary_lows: np.ndarray,
+    summary_highs: np.ndarray,
+    cardinalities: np.ndarray,
+) -> np.ndarray:
+    """Heuristic-5 weighted mindist for a whole child list in one kernel call."""
+    return kernels.boxes_weighted_group_mindist(
+        lows, highs, summary_lows, summary_highs, cardinalities
+    )
 
 
 def heuristic5_prunes(weighted_mindist_value: float, best_dist: float) -> bool:
     """Heuristic 5 (F-MBM): prune node N when its weighted mindist reaches ``best_dist``."""
     return weighted_mindist_value >= best_dist
+
+
+def heuristic5_prunes_batch(weighted_mindists: np.ndarray, best_dist: float) -> np.ndarray:
+    """Vectorised :func:`heuristic5_prunes` for an array of weighted mindists."""
+    return weighted_mindists >= best_dist
 
 
 def heuristic6_prunes(

@@ -22,9 +22,17 @@ from __future__ import annotations
 import heapq
 import itertools
 
-from repro.core.heuristics import heuristic2_prunes, heuristic3_prunes_precomputed
+import numpy as np
+
+from repro.core.heuristics import (
+    heuristic2_prunes,
+    heuristic2_prunes_batch,
+    heuristic3_prunes_batch,
+    heuristic3_prunes_precomputed,
+)
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.geometry import kernels
 from repro.rtree.tree import RTree
 
 
@@ -88,7 +96,15 @@ def _divisor(query: GroupQuery) -> float:
 
 
 def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
-    """Best-first MBM: the heap is ordered by mindist to the query MBR."""
+    """Best-first MBM: the heap is ordered by mindist to the query MBR.
+
+    Each popped node is scored with batched kernels: one call computes
+    the mindist of the whole child list to the query MBR (Heuristic 2)
+    and one more computes the aggregate lower bounds of the survivors
+    (Heuristic 3).  ``best`` cannot change while a child list is being
+    scored (offers only happen at leaves), so the batched checks decide
+    exactly what the entry-at-a-time loop decided.
+    """
     query_mbr = query.mbr
     divisor = _divisor(query)
     counter = itertools.count()
@@ -104,17 +120,22 @@ def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
         if node.is_leaf:
             _process_leaf(tree, node, query, best, divisor)
             continue
-        for entry in node.entries:
-            child_mindist = entry.mbr.mindist_mbr(query_mbr)
-            tree.stats.record_distance_computations(1)
-            if best.is_full() and heuristic2_prunes(child_mindist, best.best_dist, divisor):
-                continue
-            if use_heuristic3 and best.is_full():
-                lower_bound = query.mindist_lower_bound(entry.mbr)
-                tree.stats.record_distance_computations(query.cardinality)
-                if heuristic3_prunes_precomputed(lower_bound, best.best_dist):
-                    continue
-            heapq.heappush(heap, (child_mindist, next(counter), entry.child))
+        lows, highs = node.child_bounds()
+        child_mindists = kernels.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
+        tree.stats.record_distance_computations(len(node.entries))
+        if best.is_full():
+            survives = ~heuristic2_prunes_batch(child_mindists, best.best_dist, divisor)
+        else:
+            survives = np.ones(len(node.entries), dtype=bool)
+        if use_heuristic3 and best.is_full() and survives.any():
+            indices = np.flatnonzero(survives)
+            lower_bounds = query.mindist_lower_bounds(lows[indices], highs[indices])
+            tree.stats.record_distance_computations(query.cardinality * indices.size)
+            survives[indices[heuristic3_prunes_batch(lower_bounds, best.best_dist)]] = False
+        for index in np.flatnonzero(survives):
+            heapq.heappush(
+                heap, (float(child_mindists[index]), next(counter), node.entries[index].child)
+            )
 
 
 def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
@@ -125,12 +146,14 @@ def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
     if node.is_leaf:
         _process_leaf(tree, node, query, best, divisor)
         return
-    ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_mbr(query_mbr))
+    lows, highs = node.child_bounds()
+    mindists = kernels.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
     tree.stats.record_distance_computations(len(node.entries))
-    for entry in ranked:
-        mindist_to_m = entry.mbr.mindist_mbr(query_mbr)
+    for index in np.argsort(mindists, kind="stable"):
+        mindist_to_m = float(mindists[index])
         if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
             break
+        entry = node.entries[index]
         if use_heuristic3 and best.is_full():
             lower_bound = query.mindist_lower_bound(entry.mbr)
             tree.stats.record_distance_computations(query.cardinality)
@@ -140,14 +163,30 @@ def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
 
 
 def _process_leaf(tree, node, query, best, divisor) -> None:
-    """Apply Heuristic 2 to leaf points before paying the full distance computation."""
+    """Apply Heuristic 2 to leaf points before paying the full distance computation.
+
+    The leaf's points are scored in two kernel calls: mindists to the
+    query MBR for the Heuristic-2 ordering, then aggregate distances for
+    the candidates that can possibly survive.  ``best_dist`` only shrinks
+    while the ordered candidates are consumed, so the sequential pruning
+    loop visits a prefix of that candidate set — the per-candidate checks
+    and charges below replay the entry-at-a-time loop exactly.
+    """
     query_mbr = query.mbr
-    ranked = sorted(node.entries, key=lambda e: query_mbr.mindist_point(e.point))
+    coords = node.points_array()
+    mindists = kernels.points_mindist_box(coords, query_mbr.low, query_mbr.high)
     tree.stats.record_distance_computations(len(node.entries))
-    for entry in ranked:
-        mindist_to_m = query_mbr.mindist_point(entry.point)
-        if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
+    order = np.argsort(mindists, kind="stable")
+    if best.is_full():
+        candidates = order[~heuristic2_prunes_batch(mindists[order], best.best_dist, divisor)]
+    else:
+        candidates = order
+    if candidates.size == 0:
+        return
+    distances = query.distances_to(coords[candidates])
+    for position, index in enumerate(candidates):
+        if best.is_full() and heuristic2_prunes(float(mindists[index]), best.best_dist, divisor):
             break
-        distance = query.distance_to(entry.point)
+        entry = node.entries[index]
         tree.stats.record_distance_computations(query.cardinality)
-        best.offer(entry.record_id, entry.point, distance)
+        best.offer(entry.record_id, entry.point, float(distances[position]))

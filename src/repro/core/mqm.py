@@ -74,7 +74,7 @@ def mqm(tree: RTree, query: GroupQuery) -> GNNResult:
             if record_id in seen_distances:
                 distance = seen_distances[record_id]
             else:
-                distance = query.distance_to(neighbor.point)
+                distance = query.distance_to_canonical(neighbor.point)
                 tree.stats.record_distance_computations(n)
                 seen_distances[record_id] = distance
             best.offer(record_id, neighbor.point, distance)

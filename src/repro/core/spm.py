@@ -15,10 +15,13 @@ Figure 3.4) are provided.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.centroid import compute_centroid
 from repro.core.heuristics import heuristic1_prunes_node, heuristic1_prunes_point
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.geometry import kernels
 from repro.geometry.distance import euclidean, group_distance
 from repro.rtree.traversal import incremental_nearest_generic
 from repro.rtree.tree import RTree
@@ -78,12 +81,21 @@ def _spm_best_first(tree, query, centroid, centroid_distance, best) -> None:
     def point_key(point):
         return euclidean(point, centroid)
 
-    for neighbor in incremental_nearest_generic(tree, node_key, point_key):
+    def points_key(points):
+        return kernels.point_distances(points, centroid)
+
+    def mbrs_key(lows, highs):
+        return kernels.boxes_mindist_point(lows, highs, centroid)
+
+    stream = incremental_nearest_generic(
+        tree, node_key, point_key, points_key=points_key, mbrs_key=mbrs_key
+    )
+    for neighbor in stream:
         # neighbor.distance is |p q|; the stream is ascending in it, so the
         # first point failing Heuristic 1 terminates the whole search.
         if heuristic1_prunes_point(neighbor.distance, best.best_dist, centroid_distance, n):
             break
-        distance = query.distance_to(neighbor.point)
+        distance = query.distance_to_canonical(neighbor.point)
         tree.stats.record_distance_computations(n)
         best.offer(neighbor.record_id, neighbor.point, distance)
 
@@ -93,21 +105,23 @@ def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> No
     n = query.cardinality
     node = tree.read_node(node)
     if node.is_leaf:
-        ranked = sorted(node.entries, key=lambda e: euclidean(e.point, centroid))
+        centroid_dists = kernels.point_distances(node.points_array(), centroid)
         tree.stats.record_distance_computations(len(node.entries))
-        for entry in ranked:
+        for index in np.argsort(centroid_dists, kind="stable"):
             if heuristic1_prunes_point(
-                euclidean(entry.point, centroid), best.best_dist, centroid_distance, n
+                float(centroid_dists[index]), best.best_dist, centroid_distance, n
             ):
                 break
-            distance = query.distance_to(entry.point)
+            entry = node.entries[index]
+            distance = query.distance_to_canonical(entry.point)
             tree.stats.record_distance_computations(n)
             best.offer(entry.record_id, entry.point, distance)
         return
-    ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_point(centroid))
-    for entry in ranked:
+    lows, highs = node.child_bounds()
+    mindists = kernels.boxes_mindist_point(lows, highs, centroid)
+    for index in np.argsort(mindists, kind="stable"):
         if heuristic1_prunes_node(
-            entry.mbr.mindist_point(centroid), best.best_dist, centroid_distance, n
+            float(mindists[index]), best.best_dist, centroid_distance, n
         ):
             break
-        _spm_depth_first(tree, entry.child, query, centroid, centroid_distance, best)
+        _spm_depth_first(tree, node.entries[index].child, query, centroid, centroid_distance, best)

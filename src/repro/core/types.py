@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.geometry.distance import SUM, group_distance, group_mindist
+from repro.geometry import kernels
+from repro.geometry.distance import SUM, _check_weights, _fast_point
 from repro.geometry.mbr import MBR
 from repro.geometry.point import as_points
 
@@ -45,7 +46,8 @@ class GroupQuery:
             raise ValueError("k must be at least 1")
         self.k = int(k)
         self.aggregate = aggregate
-        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        # Validate once here so the per-candidate kernel calls can skip it.
+        self.weights = None if weights is None else _check_weights(weights, self.points.shape[0])
         self._mbr: MBR | None = None
         self._centroid: np.ndarray | None = None
 
@@ -68,11 +70,36 @@ class GroupQuery:
 
     def distance_to(self, point) -> float:
         """Aggregate distance ``dist(p, Q)`` from a data point to the group."""
-        return group_distance(point, self.points, weights=self.weights, aggregate=self.aggregate)
+        point = _fast_point(point, dims=self.dims)
+        return self.distance_to_canonical(point)
+
+    def distance_to_canonical(self, point: np.ndarray) -> float:
+        """:meth:`distance_to` for a point that is already canonical.
+
+        The caller vouches that ``point`` is a finite float64 ``(dims,)``
+        array — e.g. one stored in an R-tree leaf, which was validated on
+        insertion.  The algorithms use this on their per-candidate hot
+        path; user-facing code should call :meth:`distance_to`.
+        """
+        dists = kernels.point_distances(self.points, point)
+        return float(kernels.reduce_aggregate(dists, self.aggregate, self.weights))
+
+    def distances_to(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`distance_to` for a ``(count, dims)`` candidate array."""
+        return kernels.aggregate_distances(
+            points, self.points, weights=self.weights, aggregate=self.aggregate
+        )
 
     def mindist_lower_bound(self, mbr: MBR) -> float:
         """Lower bound of ``dist(p, Q)`` over all points ``p`` inside ``mbr``."""
-        return group_mindist(mbr, self.points, weights=self.weights, aggregate=self.aggregate)
+        dists = kernels.points_mindist_box(self.points, mbr.low, mbr.high)
+        return float(kernels.reduce_aggregate(dists, self.aggregate, self.weights))
+
+    def mindist_lower_bounds(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`mindist_lower_bound` for arrays of node rectangles."""
+        return kernels.boxes_group_mindist(
+            lows, highs, self.points, weights=self.weights, aggregate=self.aggregate
+        )
 
     def total_weight(self) -> float:
         """Sum of weights (``n`` when the query is unweighted)."""

@@ -6,17 +6,21 @@ written in:
 * :class:`~repro.geometry.mbr.MBR` — axis-aligned minimum bounding
   rectangles with ``mindist`` / ``maxdist`` metrics,
 * distance helpers in :mod:`repro.geometry.distance` — point-to-point,
-  point-to-group aggregate distances,
+  point-to-group aggregate distances (validating wrappers),
+* the vectorised kernel layer in :mod:`repro.geometry.kernels` — the
+  array-at-a-time engine the wrappers and every hot path delegate to,
 * the Hilbert space-filling curve in :mod:`repro.geometry.hilbert`, used
   to sort query points for locality (Sections 3.1, 4.2 and 4.3 of the
   paper).
 """
 
+from repro.geometry import kernels
 from repro.geometry.distance import (
     aggregate_distance,
     euclidean,
     group_distance,
     group_mindist,
+    minkowski,
     squared_euclidean,
 )
 from repro.geometry.hilbert import hilbert_index, hilbert_sort
@@ -33,6 +37,8 @@ __all__ = [
     "group_mindist",
     "hilbert_index",
     "hilbert_sort",
+    "kernels",
+    "minkowski",
     "point_equal",
     "squared_euclidean",
 ]

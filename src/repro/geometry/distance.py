@@ -8,6 +8,13 @@ pursued by the authors' follow-up TODS paper on aggregate nearest
 neighbors).  Every GNN algorithm in :mod:`repro.core` is written against
 these helpers so the aggregate can be swapped without touching the
 traversal logic.
+
+Since the kernel layer landed, these helpers are thin *validating*
+wrappers over the one-candidate case of :mod:`repro.geometry.kernels`:
+they normalise arbitrary user input once, then delegate to the same
+vectorised arithmetic the hot paths use, so scalar and batched
+evaluation agree bit for bit.  Inputs that are already canonical
+``float64`` arrays skip re-validation entirely (the fast path).
 """
 
 from __future__ import annotations
@@ -16,38 +23,83 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.geometry import kernels
+from repro.geometry.kernels import AGGREGATES, MAX, MIN, SUM  # noqa: F401  (re-exported API)
 from repro.geometry.mbr import MBR
 from repro.geometry.point import as_point, as_points
 
-#: Aggregate identifiers accepted throughout the library.
-SUM = "sum"
-MAX = "max"
-MIN = "min"
-AGGREGATES = (SUM, MAX, MIN)
+_check_weights = kernels.check_weights  # backwards-compatible alias
+
+
+def _fast_point(value, dims: int | None = None) -> np.ndarray:
+    """Return ``value`` as a canonical point, skipping re-normalisation when possible.
+
+    The fast path accepts only what the library itself produces — a 1-D
+    non-empty *finite* ``float64`` array (of the expected dimensionality,
+    when given) — and skips the ``asarray`` conversion and shape
+    branching; anything else, including non-finite arrays, flows through
+    :func:`repro.geometry.point.as_point` and raises the same errors as
+    before.
+    """
+    if (
+        type(value) is np.ndarray
+        and value.dtype == np.float64
+        and value.ndim == 1
+        and value.size
+        and (dims is None or value.size == dims)
+        and np.isfinite(value).all()
+    ):
+        return value
+    return as_point(value, dims=dims)
+
+
+def _fast_points(values, dims: int | None = None) -> np.ndarray:
+    """Collection counterpart of :func:`_fast_point`."""
+    if (
+        type(values) is np.ndarray
+        and values.dtype == np.float64
+        and values.ndim == 2
+        and values.shape[0]
+        and values.shape[1]
+        and (dims is None or values.shape[1] == dims)
+        and np.isfinite(values).all()
+    ):
+        return values
+    return as_points(values, dims=dims)
 
 
 def euclidean(a: Sequence[float], b: Sequence[float]) -> float:
-    """Euclidean distance between two points."""
-    pa = as_point(a)
-    pb = as_point(b)
+    """Euclidean distance between two points.
+
+    Uses ``np.sum`` rather than ``np.dot`` so the scalar value is
+    bit-identical to the one-candidate row of the batched kernels.
+    """
+    pa = _fast_point(a)
+    pb = _fast_point(b, dims=pa.size)
     delta = pa - pb
-    return float(np.sqrt(np.dot(delta, delta)))
+    return float(np.sqrt(np.sum(delta * delta)))
 
 
 def squared_euclidean(a: Sequence[float], b: Sequence[float]) -> float:
     """Squared Euclidean distance (avoids the square root when only ordering matters)."""
-    pa = as_point(a)
-    pb = as_point(b)
+    pa = _fast_point(a)
+    pb = _fast_point(b, dims=pa.size)
     delta = pa - pb
-    return float(np.dot(delta, delta))
+    return float(np.sum(delta * delta))
+
+
+def minkowski(a: Sequence[float], b: Sequence[float], p: float = 2.0) -> float:
+    """Minkowski ``L_p`` distance between two points (``p = inf`` is Chebyshev)."""
+    pa = _fast_point(a)
+    pb = _fast_point(b, dims=pa.size)
+    return float(kernels.point_distances(pa.reshape(1, -1), pb, metric=kernels.MINKOWSKI, p=p)[0])
 
 
 def distances_to_group(point: Sequence[float], group: np.ndarray) -> np.ndarray:
     """Vector of Euclidean distances from ``point`` to every point of ``group``."""
-    p = as_point(point)
-    pts = as_points(group, dims=p.size)
-    delta = pts - p
-    return np.sqrt(np.sum(delta * delta, axis=1))
+    p = _fast_point(point)
+    pts = _fast_points(group, dims=p.size)
+    return kernels.point_distances(pts, p)
 
 
 def group_distance(
@@ -75,8 +127,7 @@ def group_distance(
     dists = distances_to_group(point, group)
     if weights is not None:
         weights = _check_weights(weights, dists.size)
-        dists = dists * weights
-    return _aggregate(dists, aggregate)
+    return float(kernels.reduce_aggregate(dists, aggregate, weights))
 
 
 def group_distances_bulk(
@@ -87,25 +138,14 @@ def group_distances_bulk(
 ) -> np.ndarray:
     """Aggregate distance from each of ``points`` to the group ``Q``.
 
-    Vectorised over the data points; used by the brute-force baseline and
-    by leaf-level processing when many candidate points are evaluated at
-    once.
+    Vectorised over the data points; the validating entry point of
+    :func:`repro.geometry.kernels.aggregate_distances`.
     """
-    pts = as_points(points)
-    grp = as_points(group, dims=pts.shape[1])
-    # pairwise (len(points), len(group)) distance matrix
-    delta = pts[:, None, :] - grp[None, :, :]
-    matrix = np.sqrt(np.sum(delta * delta, axis=2))
+    pts = _fast_points(points)
+    grp = _fast_points(group, dims=pts.shape[1])
     if weights is not None:
         weights = _check_weights(weights, grp.shape[0])
-        matrix = matrix * weights[None, :]
-    if aggregate == SUM:
-        return matrix.sum(axis=1)
-    if aggregate == MAX:
-        return matrix.max(axis=1)
-    if aggregate == MIN:
-        return matrix.min(axis=1)
-    raise ValueError(f"unknown aggregate {aggregate!r}; expected one of {AGGREGATES}")
+    return kernels.aggregate_distances(pts, grp, weights=weights, aggregate=aggregate)
 
 
 def group_mindist(
@@ -122,33 +162,18 @@ def group_mindist(
     because each ``mindist(N, q_i)`` lower-bounds ``|p q_i|`` for every
     ``p`` in ``N``.
     """
-    pts = as_points(group, dims=mbr.dims)
-    dists = mbr.mindist_points(pts)
+    pts = _fast_points(group, dims=mbr.dims)
+    dists = kernels.points_mindist_box(pts, mbr.low, mbr.high)
     if weights is not None:
         weights = _check_weights(weights, dists.size)
-        dists = dists * weights
-    return _aggregate(dists, aggregate)
+    return float(kernels.reduce_aggregate(dists, aggregate, weights))
 
 
 def aggregate_distance(values: Sequence[float], aggregate: str = SUM) -> float:
     """Combine already-computed per-query distances with the chosen aggregate."""
-    return _aggregate(np.asarray(values, dtype=np.float64), aggregate)
+    return float(kernels.reduce_aggregate(np.asarray(values, dtype=np.float64), aggregate))
 
 
 def _aggregate(values: np.ndarray, aggregate: str) -> float:
-    if aggregate == SUM:
-        return float(values.sum())
-    if aggregate == MAX:
-        return float(values.max())
-    if aggregate == MIN:
-        return float(values.min())
-    raise ValueError(f"unknown aggregate {aggregate!r}; expected one of {AGGREGATES}")
-
-
-def _check_weights(weights: np.ndarray, expected: int) -> np.ndarray:
-    w = np.asarray(weights, dtype=np.float64)
-    if w.ndim != 1 or w.size != expected:
-        raise ValueError(f"weights must be a vector of length {expected}, got shape {w.shape}")
-    if np.any(w < 0) or not np.all(np.isfinite(w)):
-        raise ValueError("weights must be finite and non-negative")
-    return w
+    """Backwards-compatible alias for the kernel reduction."""
+    return float(kernels.reduce_aggregate(values, aggregate))

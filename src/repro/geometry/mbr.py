@@ -147,7 +147,9 @@ class MBR:
         """
         p = as_point(point, dims=self.dims)
         delta = np.maximum(0.0, np.maximum(self.low - p, p - self.high))
-        return float(np.sqrt(np.dot(delta, delta)))
+        # np.sum (not np.dot) so the scalar value is bit-identical to the
+        # batched kernels in repro.geometry.kernels.
+        return float(np.sqrt(np.sum(delta * delta)))
 
     def mindist_points(self, points: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`mindist_point` for a ``(count, dims)`` array."""
@@ -159,7 +161,7 @@ class MBR:
         """Maximum Euclidean distance from ``point`` to any point of the MBR."""
         p = as_point(point, dims=self.dims)
         delta = np.maximum(np.abs(self.low - p), np.abs(self.high - p))
-        return float(np.sqrt(np.dot(delta, delta)))
+        return float(np.sqrt(np.sum(delta * delta)))
 
     def mindist_mbr(self, other: "MBR") -> float:
         """Minimum distance between any two points of the two rectangles.
@@ -168,12 +170,12 @@ class MBR:
         rectangles intersect.
         """
         delta = np.maximum(0.0, np.maximum(self.low - other.high, other.low - self.high))
-        return float(np.sqrt(np.dot(delta, delta)))
+        return float(np.sqrt(np.sum(delta * delta)))
 
     def maxdist_mbr(self, other: "MBR") -> float:
         """Maximum distance between any two points of the two rectangles."""
         delta = np.maximum(np.abs(self.high - other.low), np.abs(other.high - self.low))
-        return float(np.sqrt(np.dot(delta, delta)))
+        return float(np.sqrt(np.sum(delta * delta)))
 
     # ------------------------------------------------------------------
     # dunder helpers

@@ -18,6 +18,7 @@ import heapq
 import itertools
 from collections.abc import Iterator
 
+from repro.geometry import kernels
 from repro.geometry.mbr import MBR
 from repro.rtree.tree import RTree
 
@@ -61,13 +62,22 @@ def _pair_mindist(item_a: _Item, item_b: _Item) -> float:
     return item_a.mbr.mindist_mbr(item_b.mbr)
 
 
-def _expand(node) -> list[_Item]:
+def _expand(node) -> tuple[list[_Item], "np.ndarray"]:
+    """Return the node's children as items plus their mindists to ``other``.
+
+    The mindists of the whole child list against the other side's MBR are
+    computed in one batched kernel call (the children of a leaf are
+    degenerate boxes, so their point array serves as both corners).
+    """
     if node.is_leaf:
-        return [
+        children = [
             _Item(record_id=entry.record_id, point=entry.point, mbr=MBR.from_point(entry.point))
             for entry in node.entries
         ]
-    return [_Item(node=entry.child, mbr=entry.mbr) for entry in node.entries]
+        coords = node.points_array()
+        return children, (coords, coords)
+    children = [_Item(node=entry.child, mbr=entry.mbr) for entry in node.entries]
+    return children, node.child_bounds()
 
 
 def incremental_closest_pairs(data_tree: RTree, query_tree: RTree) -> Iterator[PairResult]:
@@ -98,13 +108,13 @@ def incremental_closest_pairs(data_tree: RTree, query_tree: RTree) -> Iterator[P
         # and mirrors the "expand the larger node" policy of [CMTV00]).
         if not item_p.is_point and (item_q.is_point or item_p.node.level >= item_q.node.level):
             node = data_tree.read_node(item_p.node)
-            for child in _expand(node):
-                heapq.heappush(
-                    heap, (_pair_mindist(child, item_q), next(counter), child, item_q)
-                )
+            children, (lows, highs) = _expand(node)
+            mindists = kernels.boxes_mindist_box(lows, highs, item_q.mbr.low, item_q.mbr.high)
+            for child, mindist in zip(children, mindists):
+                heapq.heappush(heap, (float(mindist), next(counter), child, item_q))
         else:
             node = query_tree.read_node(item_q.node)
-            for child in _expand(node):
-                heapq.heappush(
-                    heap, (_pair_mindist(item_p, child), next(counter), item_p, child)
-                )
+            children, (lows, highs) = _expand(node)
+            mindists = kernels.boxes_mindist_box(lows, highs, item_p.mbr.low, item_p.mbr.high)
+            for child, mindist in zip(children, mindists):
+                heapq.heappush(heap, (float(mindist), next(counter), item_p, child))

@@ -14,6 +14,15 @@ The generic variant accepts arbitrary lower-bound/key functions so the
 same machinery can rank nodes by ``mindist`` to a point (conventional
 NN), to a centroid (SPM), to a query MBR (MBM), or by the aggregate
 group distance (the incremental group-NN stream used by F-MQM).
+
+Callers may additionally supply *vectorised* keys (``points_key`` /
+``mbrs_key``) that score a whole leaf or child list in one kernel call
+per heap pop instead of one Python call per entry — the hot path of
+every algorithm in the paper.  Vectorised keys must compute exactly the
+same values as their scalar counterparts (the kernels in
+:mod:`repro.geometry.kernels` are built to guarantee this), so the heap
+order, the emitted stream and the node-access counts are identical
+either way.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from collections.abc import Callable, Iterator, Sequence
 
 import numpy as np
 
+from repro.geometry import kernels
 from repro.geometry.mbr import MBR
 from repro.geometry.point import as_point
 from repro.rtree.tree import RTree
@@ -51,12 +61,21 @@ def incremental_nearest_generic(
     tree: RTree,
     node_key: Callable[[MBR], float],
     point_key: Callable[[np.ndarray], float],
+    *,
+    points_key: Callable[[np.ndarray], np.ndarray] | None = None,
+    mbrs_key: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
 ) -> Iterator[Neighbor]:
     """Yield every indexed point in ascending order of ``point_key``.
 
     ``node_key(mbr)`` must lower-bound ``point_key(p)`` for every point
     ``p`` inside ``mbr`` — exactly the property that makes best-first
     search correct.  Node reads are charged to ``tree.stats``.
+
+    ``points_key`` (``(fanout, dims)`` point array → value array) and
+    ``mbrs_key`` (low/high corner arrays → value array) are vectorised
+    equivalents of ``point_key`` / ``node_key``; when provided, each
+    popped node is scored with a single kernel call.  Entries are pushed
+    in storage order in both modes, so tie-breaking is identical.
     """
     if len(tree) == 0:
         return
@@ -73,15 +92,28 @@ def incremental_nearest_generic(
             continue
         node = tree.read_node(payload)
         if node.is_leaf:
-            for entry in node.entries:
-                value = point_key(entry.point)
-                heapq.heappush(
-                    heap, (value, next(counter), "point", (entry.record_id, entry.point))
-                )
+            if points_key is not None:
+                values = points_key(node.points_array())
+                for entry, value in zip(node.entries, values):
+                    heapq.heappush(
+                        heap, (float(value), next(counter), "point", (entry.record_id, entry.point))
+                    )
+            else:
+                for entry in node.entries:
+                    value = point_key(entry.point)
+                    heapq.heappush(
+                        heap, (value, next(counter), "point", (entry.record_id, entry.point))
+                    )
         else:
-            for entry in node.entries:
-                bound = node_key(entry.mbr)
-                heapq.heappush(heap, (bound, next(counter), "node", entry.child))
+            if mbrs_key is not None:
+                lows, highs = node.child_bounds()
+                bounds = mbrs_key(lows, highs)
+                for entry, bound in zip(node.entries, bounds):
+                    heapq.heappush(heap, (float(bound), next(counter), "node", entry.child))
+            else:
+                for entry in node.entries:
+                    bound = node_key(entry.mbr)
+                    heapq.heappush(heap, (bound, next(counter), "node", entry.child))
 
 
 def incremental_nearest(tree: RTree, query: Sequence[float]) -> Iterator[Neighbor]:
@@ -93,9 +125,17 @@ def incremental_nearest(tree: RTree, query: Sequence[float]) -> Iterator[Neighbo
 
     def point_key(point: np.ndarray) -> float:
         delta = point - q
-        return float(np.sqrt(np.dot(delta, delta)))
+        return float(np.sqrt(np.sum(delta * delta)))
 
-    return incremental_nearest_generic(tree, node_key, point_key)
+    def points_key(points: np.ndarray) -> np.ndarray:
+        return kernels.point_distances(points, q)
+
+    def mbrs_key(lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        return kernels.boxes_mindist_point(lows, highs, q)
+
+    return incremental_nearest_generic(
+        tree, node_key, point_key, points_key=points_key, mbrs_key=mbrs_key
+    )
 
 
 def best_first_nearest(tree: RTree, query: Sequence[float], k: int = 1) -> list[Neighbor]:
@@ -134,19 +174,20 @@ def depth_first_nearest(tree: RTree, query: Sequence[float], k: int = 1) -> list
     def visit(node) -> None:
         node = tree.read_node(node)
         if node.is_leaf:
-            for entry in node.entries:
-                delta = entry.point - q
-                dist = float(np.sqrt(np.dot(delta, delta)))
+            dists = kernels.point_distances(node.points_array(), q)
+            for entry, dist in zip(node.entries, dists):
+                dist = float(dist)
                 if dist < kth_distance():
                     heapq.heappush(best, (-dist, entry.record_id, entry.point))
                     if len(best) > k:
                         heapq.heappop(best)
             return
-        ranked = sorted(node.entries, key=lambda e: e.mbr.mindist_point(q))
-        for entry in ranked:
-            if entry.mbr.mindist_point(q) >= kth_distance():
+        lows, highs = node.child_bounds()
+        mindists = kernels.boxes_mindist_point(lows, highs, q)
+        for index in np.argsort(mindists, kind="stable"):
+            if mindists[index] >= kth_distance():
                 break
-            visit(entry.child)
+            visit(node.entries[index].child)
 
     visit(tree.root)
     ordered = sorted(best, key=lambda item: -item[0])

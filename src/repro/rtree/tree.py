@@ -201,6 +201,7 @@ class RTree:
         path = self._choose_path(entry, level)
         node = path[-1][1] if path else self.root
         node.entries.append(entry)
+        node.invalidate_arrays()
         self._adjust_path(path)
         if len(node.entries) > self.capacity:
             self._overflow(node, path, reinserted_levels)
@@ -222,6 +223,7 @@ class RTree:
             for child_entry in parent.entries:
                 if child_entry.child is child:
                     child_entry.recompute_mbr()
+                    parent.invalidate_arrays()
                     break
 
     def _overflow(self, node: Node, path, reinserted_levels: set[int]) -> None:
@@ -236,6 +238,7 @@ class RTree:
         node_mbr = node.compute_mbr()
         kept, removed = rstar.reinsert_candidates(node, node_mbr)
         node.entries = list(kept)
+        node.invalidate_arrays()
         self._adjust_path(path)
         for entry in removed:
             self._insert_entry(entry, level=node.level, reinserted_levels=reinserted_levels)
@@ -243,6 +246,7 @@ class RTree:
     def _split_and_propagate(self, node: Node, path, reinserted_levels: set[int]) -> None:
         group_a, group_b = self._split_entries(node.entries, self.min_fill)
         node.entries = list(group_a)
+        node.invalidate_arrays()
         sibling = Node(node.level, group_b)
 
         if node is self.root:
@@ -258,6 +262,7 @@ class RTree:
                 child_entry.recompute_mbr()
                 break
         parent.entries.append(ChildEntry(sibling.compute_mbr(), sibling))
+        parent.invalidate_arrays()
         self._adjust_path(path[:-1])
         if len(parent.entries) > self.capacity:
             self._overflow(parent, path[:-1], reinserted_levels)
@@ -278,6 +283,7 @@ class RTree:
             return False
         path, leaf, entry = found
         leaf.entries.remove(entry)
+        leaf.invalidate_arrays()
         self.size -= 1
         self._condense(path, leaf)
         # Shrink the root when it is an internal node with one child.
@@ -312,6 +318,7 @@ class RTree:
                     if child_entry.child is current:
                         child_entry.recompute_mbr()
                         break
+            parent.invalidate_arrays()
             current = parent
         for level, entry in orphans:
             self._insert_entry(entry, level=level, reinserted_levels=set())

@@ -1,0 +1,306 @@
+"""Property-based conformance suite for the vectorised kernel layer.
+
+Every kernel in :mod:`repro.geometry.kernels` must agree with the scalar
+helper it accelerates (to 1e-9, and bit-for-bit on the hot 2-D paths)
+across dimensionalities 2-6, singleton and larger groups, empty and
+non-empty candidate arrays, and weighted sum/max/min aggregates — the
+guarantee that lets the R-tree traversals score whole leaves per heap
+pop without changing a single answer.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import kernels
+from repro.geometry.distance import (
+    euclidean,
+    group_distance,
+    group_distances_bulk,
+    group_mindist,
+    minkowski,
+    squared_euclidean,
+)
+from repro.geometry.mbr import MBR
+from repro.geometry.point import GeometryError
+
+# Coordinates are kept modest so the 1e-9 agreement bound is meaningful
+# even for dimension-6 sums of squares.
+coordinate = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False, width=32
+)
+dims_strategy = st.integers(min_value=2, max_value=6)
+
+
+@st.composite
+def workload(draw, min_candidates=0, max_candidates=10, min_group=1, max_group=8):
+    """Draw (candidate points, query group, weights) of one dimensionality."""
+    dims = draw(dims_strategy)
+
+    def point_list(min_count, max_count):
+        return draw(
+            st.lists(
+                st.tuples(*[coordinate] * dims), min_size=min_count, max_size=max_count
+            )
+        )
+
+    candidates = np.array(point_list(min_candidates, max_candidates), dtype=np.float64)
+    candidates = candidates.reshape(-1, dims)
+    group = np.array(point_list(min_group, max_group), dtype=np.float64)
+    weights = np.array(
+        [draw(st.floats(min_value=0.0, max_value=10.0, width=32)) for _ in range(group.shape[0])]
+    )
+    return candidates, group, weights
+
+
+@st.composite
+def boxes_and_group(draw, max_boxes=8, min_group=1, max_group=8):
+    """Draw (box lows, box highs, query group, weights) of one dimensionality."""
+    dims = draw(dims_strategy)
+    corners = draw(
+        st.lists(
+            st.tuples(st.tuples(*[coordinate] * dims), st.tuples(*[coordinate] * dims)),
+            min_size=1,
+            max_size=max_boxes,
+        )
+    )
+    a = np.array([pair[0] for pair in corners], dtype=np.float64)
+    b = np.array([pair[1] for pair in corners], dtype=np.float64)
+    lows, highs = np.minimum(a, b), np.maximum(a, b)
+    group = np.array(
+        draw(st.lists(st.tuples(*[coordinate] * dims), min_size=min_group, max_size=max_group)),
+        dtype=np.float64,
+    )
+    weights = np.array(
+        [draw(st.floats(min_value=0.0, max_value=10.0, width=32)) for _ in range(group.shape[0])]
+    )
+    return lows, highs, group, weights
+
+
+def _close(a, b):
+    return np.allclose(a, b, rtol=1e-9, atol=1e-9)
+
+
+class TestAggregateDistanceKernels:
+    @given(data=workload(), aggregate=st.sampled_from(kernels.AGGREGATES))
+    @settings(max_examples=150, deadline=None)
+    def test_aggregate_distances_match_scalar_helper(self, data, aggregate):
+        candidates, group, _ = data
+        bulk = kernels.aggregate_distances(candidates, group, aggregate=aggregate)
+        assert bulk.shape == (candidates.shape[0],)
+        scalar = [group_distance(p, group, aggregate=aggregate) for p in candidates]
+        assert _close(bulk, scalar)
+
+    @given(data=workload(), aggregate=st.sampled_from(kernels.AGGREGATES))
+    @settings(max_examples=150, deadline=None)
+    def test_weighted_aggregates_match_scalar_helper(self, data, aggregate):
+        candidates, group, weights = data
+        bulk = kernels.aggregate_distances(
+            candidates, group, weights=weights, aggregate=aggregate
+        )
+        scalar = [
+            group_distance(p, group, weights=weights, aggregate=aggregate) for p in candidates
+        ]
+        assert _close(bulk, scalar)
+
+    @given(data=workload(min_candidates=1))
+    @settings(max_examples=100, deadline=None)
+    def test_point_distances_match_euclidean(self, data):
+        candidates, group, _ = data
+        q = group[0]
+        assert _close(
+            kernels.point_distances(candidates, q), [euclidean(p, q) for p in candidates]
+        )
+
+    @given(data=workload(min_candidates=1))
+    @settings(max_examples=100, deadline=None)
+    def test_metric_variants(self, data):
+        candidates, group, _ = data
+        q = group[0]
+        squared = kernels.point_distances(candidates, q, metric=kernels.SQUARED)
+        assert _close(squared, [squared_euclidean(p, q) for p in candidates])
+        p1 = kernels.point_distances(candidates, q, metric=kernels.MINKOWSKI, p=1.0)
+        assert _close(p1, np.abs(candidates - q).sum(axis=1))
+        p2 = kernels.point_distances(candidates, q, metric=kernels.MINKOWSKI, p=2.0)
+        assert _close(p2, kernels.point_distances(candidates, q))
+        pinf = kernels.point_distances(candidates, q, metric=kernels.MINKOWSKI, p=np.inf)
+        assert _close(pinf, np.abs(candidates - q).max(axis=1))
+        assert _close(
+            [minkowski(p, q, p=1.0) for p in candidates], p1
+        )
+
+    @given(data=workload(min_candidates=1, max_candidates=6), aggregate=st.sampled_from(kernels.AGGREGATES))
+    @settings(max_examples=75, deadline=None)
+    def test_batched_tensor_matches_per_group_kernel(self, data, aggregate):
+        candidates, group, _ = data
+        groups = np.stack([group, group + 1.0])
+        batched = kernels.batched_aggregate_distances(candidates, groups, aggregate)
+        for row, one_group in zip(batched, groups):
+            expected = kernels.aggregate_distances(candidates, one_group, aggregate=aggregate)
+            assert np.array_equal(row, expected)
+
+    def test_empty_candidate_array(self):
+        group = np.array([[1.0, 2.0], [3.0, 4.0]])
+        empty = np.empty((0, 2))
+        assert kernels.aggregate_distances(empty, group).shape == (0,)
+        assert kernels.point_distances(empty, group[0]).shape == (0,)
+
+    def test_singleton_group(self):
+        group = np.array([[1.0, 2.0]])
+        candidates = np.array([[4.0, 6.0], [1.0, 2.0]])
+        for aggregate in kernels.AGGREGATES:
+            assert _close(
+                kernels.aggregate_distances(candidates, group, aggregate=aggregate),
+                [5.0, 0.0],
+            )
+
+    def test_unknown_aggregate_and_metric_rejected(self):
+        pts = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            kernels.aggregate_distances(pts, pts, aggregate="median")
+        with pytest.raises(ValueError):
+            kernels.pairwise_distances(pts, pts, metric="cosine")
+        with pytest.raises(ValueError):
+            kernels.point_distances(pts, pts[0], metric=kernels.MINKOWSKI, p=0.0)
+
+
+class TestBoxKernels:
+    @given(data=boxes_and_group(), aggregate=st.sampled_from(kernels.AGGREGATES))
+    @settings(max_examples=150, deadline=None)
+    def test_boxes_group_mindist_matches_scalar_helper(self, data, aggregate):
+        lows, highs, group, weights = data
+        bulk = kernels.boxes_group_mindist(lows, highs, group, aggregate=aggregate)
+        scalar = [
+            group_mindist(MBR(low, high), group, aggregate=aggregate)
+            for low, high in zip(lows, highs)
+        ]
+        assert _close(bulk, scalar)
+        weighted = kernels.boxes_group_mindist(
+            lows, highs, group, weights=weights, aggregate=aggregate
+        )
+        scalar_weighted = [
+            group_mindist(MBR(low, high), group, weights=weights, aggregate=aggregate)
+            for low, high in zip(lows, highs)
+        ]
+        assert _close(weighted, scalar_weighted)
+
+    @given(data=boxes_and_group())
+    @settings(max_examples=100, deadline=None)
+    def test_boxes_mindist_point_matches_mbr(self, data):
+        lows, highs, group, _ = data
+        q = group[0]
+        bulk = kernels.boxes_mindist_point(lows, highs, q)
+        scalar = [MBR(low, high).mindist_point(q) for low, high in zip(lows, highs)]
+        assert _close(bulk, scalar)
+
+    @given(data=boxes_and_group(min_group=2))
+    @settings(max_examples=100, deadline=None)
+    def test_points_mindist_box_matches_mbr(self, data):
+        lows, highs, group, _ = data
+        box = MBR(lows[0], highs[0])
+        bulk = kernels.points_mindist_box(group, box.low, box.high)
+        assert _close(bulk, box.mindist_points(group))
+
+    @given(data=boxes_and_group())
+    @settings(max_examples=100, deadline=None)
+    def test_boxes_mindist_box_matches_mbr(self, data):
+        lows, highs, group, _ = data
+        other = MBR.from_points(group)
+        bulk = kernels.boxes_mindist_box(lows, highs, other.low, other.high)
+        scalar = [MBR(low, high).mindist_mbr(other) for low, high in zip(lows, highs)]
+        assert _close(bulk, scalar)
+
+    @given(data=boxes_and_group())
+    @settings(max_examples=100, deadline=None)
+    def test_weighted_summary_kernels_match_explicit_sum(self, data):
+        lows, highs, group, _ = data
+        cards = np.arange(1.0, lows.shape[0] + 1.0)
+        boxes = [MBR(low, high) for low, high in zip(lows, highs)]
+        target = MBR.from_points(group)
+        bulk = kernels.boxes_weighted_group_mindist(
+            target.low[None, :], target.high[None, :], lows, highs, cards
+        )
+        expected = sum(c * target.mindist_mbr(box) for c, box in zip(cards, boxes))
+        assert _close(bulk[0], expected)
+        point_bulk = kernels.points_weighted_group_mindist(group, lows, highs, cards)
+        point_expected = [
+            sum(c * box.mindist_point(q) for c, box in zip(cards, boxes)) for q in group
+        ]
+        assert _close(point_bulk, point_expected)
+
+
+class TestScalarWrapperFastPath:
+    """Regression tests for the already-ndarray fast path (satellite fix)."""
+
+    @given(
+        pair=st.tuples(
+            st.tuples(coordinate, coordinate, coordinate),
+            st.tuples(coordinate, coordinate, coordinate),
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_fast_and_validating_paths_agree(self, pair):
+        a_list, b_list = list(pair[0]), list(pair[1])
+        a_arr = np.array(a_list, dtype=np.float64)
+        b_arr = np.array(b_list, dtype=np.float64)
+        # list input takes the validating path, float64 arrays the fast path
+        assert euclidean(a_list, b_list) == euclidean(a_arr, b_arr)
+        assert squared_euclidean(a_list, b_list) == squared_euclidean(a_arr, b_arr)
+
+    def test_fast_path_preserves_validation_for_bad_input(self):
+        good = np.array([1.0, 2.0])
+        with pytest.raises(GeometryError):
+            euclidean(good, [1.0, np.nan])
+        # non-finite float64 arrays must NOT slip through the fast path
+        with pytest.raises(GeometryError):
+            euclidean(good, np.array([1.0, np.nan]))
+        with pytest.raises(GeometryError):
+            group_distance(np.array([0.0, np.inf]), np.array([[1.0, 2.0]]))
+        with pytest.raises(GeometryError):
+            group_distances_bulk(np.array([[0.0, np.nan]]), np.array([[1.0, 2.0]]))
+        with pytest.raises(GeometryError):
+            euclidean(good, np.array([1.0, 2.0, 3.0]))  # dims mismatch
+        with pytest.raises(GeometryError):
+            euclidean(np.array([]), np.array([]))
+        with pytest.raises(GeometryError):
+            squared_euclidean(good, np.array([[1.0, 2.0]]))  # not a single point
+        # non-float64 arrays flow through the validating path
+        assert euclidean(np.array([0, 0]), np.array([3, 4])) == 5.0
+
+    def test_bulk_wrapper_fast_path_agrees_with_validating_path(self):
+        rng = np.random.default_rng(9)
+        pts = rng.uniform(-10, 10, size=(12, 3))
+        group = rng.uniform(-10, 10, size=(4, 3))
+        fast = group_distances_bulk(pts, group)
+        validating = group_distances_bulk(pts.tolist(), group.tolist())
+        assert np.array_equal(fast, validating)
+
+
+class TestBitIdentityHotPath:
+    """The 2-D hot path must be *bit*-identical, not just close."""
+
+    def test_leaf_scoring_matches_scalar_loop_exactly(self):
+        rng = np.random.default_rng(42)
+        leaf = rng.uniform(0, 1000, size=(50, 2))
+        group = rng.uniform(0, 1000, size=(64, 2))
+        bulk = kernels.aggregate_distances(leaf, group)
+        scalar = np.array([group_distance(p, group) for p in leaf])
+        assert np.array_equal(bulk, scalar)
+
+    def test_box_scoring_matches_scalar_loop_exactly(self):
+        rng = np.random.default_rng(43)
+        a = rng.uniform(0, 1000, size=(50, 2))
+        b = rng.uniform(0, 1000, size=(50, 2))
+        lows, highs = np.minimum(a, b), np.maximum(a, b)
+        group = rng.uniform(0, 1000, size=(64, 2))
+        bulk = kernels.boxes_group_mindist(lows, highs, group)
+        scalar = np.array(
+            [group_mindist(MBR(low, high), group) for low, high in zip(lows, highs)]
+        )
+        assert np.array_equal(bulk, scalar)
+        q = group[0]
+        assert np.array_equal(
+            kernels.boxes_mindist_point(lows, highs, q),
+            [MBR(low, high).mindist_point(q) for low, high in zip(lows, highs)],
+        )
