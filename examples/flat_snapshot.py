@@ -1,0 +1,73 @@
+"""Flat snapshots: persist an index once, serve queries memory-mapped.
+
+A read-mostly deployment rarely wants to rebuild its R-tree on every
+process start.  This example builds an engine once, saves its flat
+array-backed snapshot to an ``.npz`` file, then brings up a *read-only*
+engine straight from that file with ``mmap_mode="r"`` — the arrays are
+memory-mapped, so startup is instant and the OS pages index data in on
+demand.  Answers (and even the node-access counters) are bit-identical
+to the dynamic tree.
+
+Run with::
+
+    python examples/flat_snapshot.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro import FlatRTree, GNNEngine, QuerySpec
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+    restaurants = rng.uniform(0.0, 100.0, size=(50_000, 2))
+    friends = [[12.0, 80.0], [45.0, 40.0], [25.0, 15.0]]
+    spec = QuerySpec(group=friends, k=3)
+
+    # Build once.  The engine snapshots the tree lazily on the first
+    # query and routes memory-resident specs through the snapshot.
+    engine = GNNEngine(restaurants)
+    print(engine.explain(spec).describe())
+    reference = engine.execute(spec)
+
+    with tempfile.TemporaryDirectory() as workdir:
+        path = os.path.join(workdir, "restaurants.npz")
+        engine.snapshot().save(path)
+        size_kb = os.path.getsize(path) / 1024
+        print(f"\nSnapshot saved: {path} ({size_kb:.0f} KiB)")
+
+        # Reopen memory-mapped: no tree rebuild, no array copies.
+        started = time.perf_counter()
+        snapshot = FlatRTree.load(path, mmap_mode="r")
+        readonly = GNNEngine.from_index(snapshot)
+        startup_ms = (time.perf_counter() - started) * 1000
+        print(
+            f"Read-only engine up in {startup_ms:.1f} ms — "
+            f"{snapshot.mmap_io.pages_mapped} OS pages mapped, none copied"
+        )
+
+        result = readonly.execute(spec)
+        assert result.record_ids() == reference.record_ids()
+        assert result.distances() == reference.distances()
+        print("\nTop meeting restaurants (identical to the dynamic tree):")
+        for rank, neighbor in enumerate(result.neighbors, start=1):
+            x, y = neighbor.point
+            print(
+                f"  {rank}. restaurant #{neighbor.record_id} at ({x:6.2f}, {y:6.2f}) — "
+                f"total distance {neighbor.distance:7.2f} km"
+            )
+        print(
+            f"\nCost: {result.cost.node_accesses} node accesses, "
+            f"{result.cost.distance_computations} distance computations "
+            f"(bit-identical to the object tree's accounting)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,13 +56,14 @@ from repro.api import (
     register_algorithm,
 )
 from repro.geometry import MBR
-from repro.rtree import RTree
+from repro.rtree import FlatRTree, RTree
 from repro.storage import LRUBuffer, PointFile
 
 __version__ = "2.0.0"
 
 __all__ = [
     "AlgorithmInfo",
+    "FlatRTree",
     "GNNEngine",
     "GNNResult",
     "GroupNeighbor",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.api.spec import MEMORY, QuerySpec
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_indices
+from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
 from repro.storage.buffer import LRUBuffer
 from repro.storage.pointfile import PointFile
@@ -49,11 +50,31 @@ BATCH_TENSOR_ELEMENT_CAP = 8_000_000
 
 @dataclass
 class ExecutionContext:
-    """Everything a runner may need: the index, the raw dataset, the buffer."""
+    """Everything a runner may need: the indexes, the raw dataset, the buffer.
 
-    tree: RTree
+    ``flat`` optionally carries a read-optimised array-backed snapshot
+    of the tree (:class:`~repro.rtree.flat.FlatRTree`); plans whose
+    ``use_flat`` flag is set traverse it instead of the object tree.
+    ``flat_provider`` lets an engine hand out the snapshot *lazily* —
+    it is invoked (once) only when a flat-capable plan actually
+    executes, so workloads that never touch the snapshot never pay for
+    building it.  ``tree`` may be ``None`` for snapshot-only contexts
+    (``GNNEngine.from_index``) — disk-resident plans then fail with an
+    explicit error, since the Section-4 algorithms stream against the
+    dynamic tree.
+    """
+
+    tree: RTree | None
     points: np.ndarray | None = None
     buffer: LRUBuffer | None = None
+    flat: FlatRTree | None = None
+    flat_provider: Callable[[], FlatRTree | None] | None = None
+
+    def get_flat(self) -> FlatRTree | None:
+        """The flat snapshot, materialising it through the provider once."""
+        if self.flat is None and self.flat_provider is not None:
+            self.flat = self.flat_provider()
+        return self.flat
 
 
 @dataclass
@@ -94,6 +115,12 @@ def execute_spec(
     """Plan (unless a plan is supplied) and execute one spec."""
     if plan is None:
         plan = (planner or QueryPlanner()).plan(spec)
+    if plan.residency != MEMORY and context.tree is None:
+        raise ValueError(
+            "disk-resident specs traverse the object R-tree, but this "
+            "execution context holds only a flat snapshot "
+            "(engine built with GNNEngine.from_index)"
+        )
     result = plan.algorithm.runner(context, prepare(spec, plan))
     if spec.trace:
         result.plan = plan

@@ -30,7 +30,7 @@ from repro.api.registry import (
     available_algorithms,
     get_algorithm,
 )
-from repro.api.spec import AUTO, MEMORY, QuerySpec
+from repro.api.spec import AUTO, FLAT, MEMORY, OBJECT, QuerySpec
 
 #: Block-count threshold below which the auto policy prefers F-MQM; the
 #: paper's PP-as-query experiments (3 blocks) favour F-MQM while the
@@ -68,7 +68,15 @@ class CostEstimate:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """The planner's decision for one spec: algorithm, rationale, estimate."""
+    """The planner's decision for one spec: algorithm, rationale, estimate.
+
+    ``use_flat`` records whether the planned traversal may run over a
+    flat array-backed snapshot (:class:`~repro.rtree.flat.FlatRTree`):
+    the algorithm supports it, the group is memory-resident, and the
+    requested options stay on the best-first path.  The executor routes
+    through the snapshot only when the execution context actually holds
+    one, so a True value is a capability, not a promise.
+    """
 
     spec: QuerySpec
     algorithm: AlgorithmInfo
@@ -76,6 +84,7 @@ class QueryPlan:
     options: Mapping[str, Any]
     rationale: str
     estimate: CostEstimate | None = None
+    use_flat: bool = False
 
     def for_spec(self, spec: QuerySpec) -> "QueryPlan":
         """Rebind a cached plan to another spec with the same signature."""
@@ -87,6 +96,12 @@ class QueryPlan:
             f"QueryPlan for {self.spec!r}",
             f"  algorithm : {self.algorithm.name} — {self.algorithm.description}",
             f"  residency : {self.residency}",
+            f"  index     : "
+            + (
+                "flat snapshot (when the engine holds one)"
+                if self.use_flat
+                else "object R-tree"
+            ),
             f"  rationale : {self.rationale}",
         ]
         if self.options:
@@ -170,7 +185,33 @@ class QueryPlanner:
             options=MappingProxyType(options),
             rationale=rationale,
             estimate=self._estimate(spec, info, residency),
+            use_flat=self._resolve_index(spec, info, residency, options),
         )
+
+    def _resolve_index(self, spec, info, residency, options) -> bool:
+        """Whether the planned traversal may run over a flat snapshot.
+
+        A spec demanding ``index="flat"`` fails here — at plan time,
+        with the reason named — when the combination can never run over
+        a snapshot: a disk-resident group, an algorithm without a flat
+        traversal, or a depth-first option.
+        """
+        flat_capable = (
+            residency == MEMORY
+            and info.supports_flat
+            and options.get("traversal", "best_first") == "best_first"
+        )
+        if spec.index == FLAT and not flat_capable:
+            if residency != MEMORY:
+                reason = "disk-resident groups always traverse the object R-tree"
+            elif not info.supports_flat:
+                reason = f"algorithm {info.name!r} has no flat-snapshot traversal"
+            else:
+                reason = "the depth-first traversal needs the object R-tree"
+            raise ValueError(f"spec requires the flat index, but {reason}")
+        if spec.index == OBJECT:
+            return False
+        return flat_capable
 
     # ------------------------------------------------------------------
     # auto policy
@@ -222,6 +263,10 @@ class QueryPlanner:
         self, spec: QuerySpec, info: AlgorithmInfo, residency: str
     ) -> CostEstimate | None:
         tree = getattr(self.engine, "tree", None)
+        if tree is None:
+            # Snapshot-only engines (GNNEngine.from_index) still expose
+            # the index shape through the flat snapshot.
+            tree = getattr(self.engine, "flat", None)
         if tree is None or len(tree) == 0:
             return None
         size = len(tree)

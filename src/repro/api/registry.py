@@ -59,6 +59,10 @@ class AlgorithmInfo:
     options: tuple[str, ...] = ()
     cost_rank: int = 1
     description: str = ""
+    #: True when the algorithm's best-first traversal can run over a
+    #: flat array-backed snapshot (FlatRTree) with identical results and
+    #: accounting; the planner uses this to set ``QueryPlan.use_flat``.
+    supports_flat: bool = False
 
     def capability_errors(self, spec: QuerySpec) -> list[str]:
         """Reasons this algorithm cannot answer ``spec`` (empty when it can)."""
@@ -136,26 +140,67 @@ def available_algorithms(residency: str | None = None) -> list[AlgorithmInfo]:
 # ----------------------------------------------------------------------
 # built-in runners
 # ----------------------------------------------------------------------
+def _memory_index(context, request):
+    """The index a memory-resident runner should traverse.
+
+    The flat snapshot is used when the plan allows it and the execution
+    context holds one; otherwise the object tree.  A spec that demanded
+    ``index="flat"`` against a context without a snapshot — or a
+    fallback to an object tree the engine does not have — fails here
+    with an actionable message.
+    """
+    plan = request.plan
+    if plan is not None and plan.use_flat:
+        flat = context.get_flat()
+        if flat is not None:
+            return flat
+    if request.spec.index == "flat":
+        raise ValueError(
+            "spec requires the flat index but the execution context holds "
+            "no flat snapshot; call engine.snapshot() (or build the engine "
+            "with snapshot=True) first"
+        )
+    if context.tree is None:
+        raise ValueError(
+            "this execution context holds only a flat snapshot; the "
+            "requested path (object-tree traversal) is unavailable"
+        )
+    return context.tree
+
+
 def _run_mqm(context, request):
-    return mqm(context.tree, request.query)
+    return mqm(_memory_index(context, request), request.query)
 
 
 def _run_spm(context, request):
-    return spm(context.tree, request.query, **request.options)
+    return spm(_memory_index(context, request), request.query, **request.options)
 
 
 def _run_mbm(context, request):
-    return mbm(context.tree, request.query, **request.options)
+    return mbm(_memory_index(context, request), request.query, **request.options)
 
 
 def _run_best_first(context, request):
-    return aggregate_gnn(context.tree, request.query)
+    return aggregate_gnn(_memory_index(context, request), request.query)
 
 
 def _run_brute_force(context, request):
     if context.points is not None:
         return brute_force_gnn(context.points, request.query)
-    return brute_force_over_tree(context.tree, request.query)
+    if context.tree is not None:
+        return brute_force_over_tree(context.tree, request.query)
+    # Snapshot-only context: reconstruct the dataset from the flat
+    # snapshot (cached there) when record ids are the usual row indices.
+    flat = context.get_flat()
+    if flat is not None:
+        points = flat.points_by_record_id()
+        if points is not None:
+            return brute_force_gnn(points, request.query)
+    raise ValueError(
+        "brute force needs the raw dataset points, the object R-tree, or a "
+        "flat snapshot with row-index record ids; this execution context "
+        "has none of those"
+    )
 
 
 def _run_fmqm(context, request):
@@ -180,6 +225,7 @@ BUILTIN_ALGORITHMS = (
         residency=MEMORY,
         aggregates=(SUM,),
         cost_rank=3,
+        supports_flat=True,
         description="Multiple query method: one incremental NN search per query point (Section 3.1).",
     ),
     AlgorithmInfo(
@@ -189,6 +235,7 @@ BUILTIN_ALGORITHMS = (
         aggregates=(SUM,),
         options=("traversal", "centroid_method"),
         cost_rank=2,
+        supports_flat=True,
         description="Single point method: one traversal around the group centroid (Section 3.2).",
     ),
     AlgorithmInfo(
@@ -199,6 +246,7 @@ BUILTIN_ALGORITHMS = (
         supports_weights=True,
         options=("traversal", "use_heuristic3"),
         cost_rank=1,
+        supports_flat=True,
         description="Minimum bounding method: single traversal pruned by the group MBR (Section 3.3).",
     ),
     AlgorithmInfo(
@@ -208,6 +256,7 @@ BUILTIN_ALGORITHMS = (
         aggregates=(SUM, MAX, MIN),
         supports_weights=True,
         cost_rank=2,
+        supports_flat=True,
         description="Aggregate-generalised optimal best-first traversal (sum/max/min, weighted).",
     ),
     AlgorithmInfo(

@@ -29,14 +29,22 @@ from repro.geometry.distance import AGGREGATES, SUM
 from repro.geometry.point import as_points
 from repro.storage.pointfile import PointFile
 
-#: Sentinel used for both ``algorithm`` and ``residency`` to request
-#: planner-driven selection.
+#: Sentinel used for ``algorithm``, ``residency`` and ``index`` to
+#: request planner-driven selection.
 AUTO = "auto"
 
 #: Valid residency declarations.
 MEMORY = "memory"
 DISK = "disk"
 RESIDENCIES = (AUTO, MEMORY, DISK)
+
+#: Valid index preferences: ``auto`` lets the planner route
+#: memory-resident queries through a flat snapshot when the engine
+#: holds one, ``flat`` demands the snapshot, ``object`` pins the query
+#: to the dynamic object tree.
+FLAT = "flat"
+OBJECT = "object"
+INDEXES = (AUTO, FLAT, OBJECT)
 
 
 @dataclass(frozen=True, eq=False)
@@ -70,6 +78,12 @@ class QuerySpec:
         Per-algorithm options forwarded by the executor (for example
         ``traversal="depth_first"``, ``use_heuristic3=False``,
         ``block_pages=200`` or ``max_pairs=10_000``).
+    index:
+        ``"auto"`` (default: the planner routes memory-resident queries
+        through the engine's flat snapshot when one is available),
+        ``"flat"`` (require the flat snapshot; planning or execution
+        fails if the algorithm or engine cannot provide it) or
+        ``"object"`` (always traverse the dynamic object tree).
     trace:
         When True the executor attaches the full :class:`QueryPlan`
         (algorithm choice, rationale, cost estimate) to the result as
@@ -87,6 +101,7 @@ class QuerySpec:
     residency: str = AUTO
     algorithm: str = AUTO
     options: Mapping[str, Any] = field(default_factory=dict)
+    index: str = AUTO
     trace: bool = False
     label: str | None = None
 
@@ -134,6 +149,12 @@ class QuerySpec:
                 f"unknown residency {self.residency!r}; expected one of {RESIDENCIES}"
             )
         object.__setattr__(self, "residency", residency)
+        index = str(self.index).lower()
+        if index not in INDEXES:
+            raise ValueError(
+                f"unknown index preference {self.index!r}; expected one of {INDEXES}"
+            )
+        object.__setattr__(self, "index", index)
         object.__setattr__(self, "algorithm", str(self.algorithm).lower())
         object.__setattr__(
             self, "options", MappingProxyType(dict(self.options or {}))
@@ -200,6 +221,7 @@ class QuerySpec:
             self.weights is None,
             self.k,
             self.cardinality,
+            self.index,
             self.group_file.block_count if self.group_file is not None else None,
             tuple(sorted((key, repr(value)) for key, value in self.options.items())),
         )

@@ -10,6 +10,9 @@ Examples::
 
     # reproduce everything the paper reports, writing Markdown tables
     python -m repro.bench all --scale quick --markdown results.md
+
+    # write the machine-readable perf baseline (BENCH_quick.json)
+    python -m repro.bench --quick
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import argparse
 import sys
 import time
 
+from repro.bench.baseline import DEFAULT_OUTPUT, write_baseline
 from repro.bench.config import available_scales, get_scale
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.report import format_table, results_to_markdown
@@ -47,12 +51,42 @@ def _parser() -> argparse.ArgumentParser:
         default=None,
         help="also write the results as Markdown tables to this file",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "measure the fixed perf baseline (fig-5.1 smoke, object vs flat "
+            f"index, plus one disk config) and write {DEFAULT_OUTPUT}"
+        ),
+    )
+    parser.add_argument(
+        "--output",
+        metavar="PATH",
+        default=DEFAULT_OUTPUT,
+        help=f"where --quick writes its JSON (default: {DEFAULT_OUTPUT})",
+    )
     return parser
 
 
 def main(argv=None) -> int:
     """Entry point; returns a process exit code."""
     args = _parser().parse_args(argv)
+    if args.quick:
+        document = write_baseline(args.output)
+        memory = document["memory_fig5_1"]["algorithms"]
+        print(f"Perf baseline written to {args.output}")
+        for name, row in memory.items():
+            print(
+                f"  {name:6s} object {row['object_ms_per_query']:8.2f} ms/query   "
+                f"flat {row['flat_ms_per_query']:8.2f} ms/query   "
+                f"speedup {row['flat_speedup']:.2f}x"
+            )
+        for name, row in document["disk"]["algorithms"].items():
+            print(
+                f"  {name:6s} {row['ms_per_query']:8.2f} ms/query   "
+                f"{row['node_accesses']} node accesses, {row['page_reads']} page reads"
+            )
+        return 0
     if args.list or args.experiment is None:
         print("Available experiments:")
         for name in sorted(EXPERIMENTS):

@@ -1,0 +1,206 @@
+"""Machine-readable performance baseline (``BENCH_quick.json``).
+
+``python -m repro.bench --quick`` measures two fixed configurations and
+writes the medians as JSON, so every future PR has a comparable
+trajectory point (and CI archives one per run):
+
+* **fig-5.1 smoke** — the paper's Figure 5.1 setting at smoke scale
+  (PP-like dataset, n=64, M=8%, k=8), each memory-resident algorithm
+  timed over both the object R-tree and the flat array-backed snapshot.
+  The two paths must agree exactly (results and counters) or the
+  baseline refuses to write — a perf number for a wrong answer is
+  worse than no number.
+* **one disk config** — F-MQM and F-MBM over a Hilbert-sorted query
+  file split into multiple blocks.
+
+Wall-clock entries are medians of per-query means across repeats;
+counter entries are medians across the workload's queries.  Numbers are
+machine-dependent; the ``speedup`` ratios are the portable signal.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import time
+
+from repro.core.fmbm import fmbm
+from repro.core.fmqm import fmqm
+from repro.core.mbm import mbm
+from repro.core.mqm import mqm
+from repro.core.spm import spm
+from repro.core.types import GroupQuery
+from repro.datasets.real_like import pp_like
+from repro.datasets.workload import WorkloadSpec, generate_workload
+from repro.rtree.flat import FlatRTree
+from repro.rtree.tree import RTree
+from repro.storage.pointfile import PointFile
+
+#: Schema version of the emitted JSON (bump on layout changes).
+SCHEMA_VERSION = 1
+
+#: Default output filename (also the CI artifact name).
+DEFAULT_OUTPUT = "BENCH_quick.json"
+
+#: fig-5.1 smoke setting: PP-like dataset, the paper's n=64 / M=8% / k=8.
+FIG51_DATASET_SIZE = 1_200
+FIG51_CARDINALITY = 64
+FIG51_MBR_FRACTION = 0.08
+FIG51_K = 8
+FIG51_QUERIES = 4
+FIG51_SEED = 17
+
+#: Disk config: one multi-block query file over the same dataset.
+DISK_QUERY_POINTS = 500
+DISK_POINTS_PER_PAGE = 50
+DISK_BLOCK_PAGES = 2
+DISK_K = 8
+
+MEMORY_ALGORITHMS = (("MQM", mqm), ("SPM", spm), ("MBM", mbm))
+DISK_ALGORITHMS = (("F-MQM", fmqm), ("F-MBM", fmbm))
+
+
+def _median_runtime(run, repeats: int) -> float:
+    """Median over ``repeats`` of the mean per-query wall-clock of ``run``."""
+    samples = []
+    run()  # warm-up: caches, allocator, numpy internals
+    for _ in range(repeats):
+        started = time.perf_counter()
+        count = run()
+        samples.append((time.perf_counter() - started) / count)
+    return statistics.median(samples)
+
+
+def _memory_baseline(repeats: int) -> dict:
+    data = pp_like(FIG51_DATASET_SIZE)
+    tree = RTree.bulk_load(data, capacity=50)
+    flat = FlatRTree.from_tree(tree)
+    workload = generate_workload(
+        data,
+        WorkloadSpec(
+            n=FIG51_CARDINALITY,
+            mbr_fraction=FIG51_MBR_FRACTION,
+            k=FIG51_K,
+            queries=FIG51_QUERIES,
+        ),
+        seed=FIG51_SEED,
+    )
+
+    results: dict = {}
+    for name, algorithm in MEMORY_ALGORITHMS:
+        queries = [GroupQuery(group, k=FIG51_K) for group in workload]
+        object_results = [algorithm(tree, query) for query in queries]
+        flat_results = [algorithm(flat, query) for query in queries]
+        object_costs = [result.cost for result in object_results]
+        flat_costs = [result.cost for result in flat_results]
+        object_answers = [[n.as_tuple() for n in r.neighbors] for r in object_results]
+        flat_answers = [[n.as_tuple() for n in r.neighbors] for r in flat_results]
+        if object_answers != flat_answers:
+            raise AssertionError(f"{name}: flat snapshot answers differ from the object tree")
+        for object_cost, flat_cost in zip(object_costs, flat_costs):
+            if (
+                object_cost.node_accesses != flat_cost.node_accesses
+                or object_cost.distance_computations != flat_cost.distance_computations
+            ):
+                raise AssertionError(f"{name}: flat snapshot counters differ from the object tree")
+
+        def run_object(algorithm=algorithm, queries=queries):
+            for query in queries:
+                algorithm(tree, query)
+            return len(queries)
+
+        def run_flat(algorithm=algorithm, queries=queries):
+            for query in queries:
+                algorithm(flat, query)
+            return len(queries)
+
+        object_ms = _median_runtime(run_object, repeats) * 1000.0
+        flat_ms = _median_runtime(run_flat, repeats) * 1000.0
+        results[name] = {
+            "object_ms_per_query": round(object_ms, 4),
+            "flat_ms_per_query": round(flat_ms, 4),
+            "flat_speedup": round(object_ms / flat_ms, 2),
+            "node_accesses_median": statistics.median(
+                cost.node_accesses for cost in object_costs
+            ),
+            "distance_computations_median": statistics.median(
+                cost.distance_computations for cost in object_costs
+            ),
+        }
+    return {
+        "setting": {
+            "figure": "5.1",
+            "scale": "smoke",
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "n": FIG51_CARDINALITY,
+            "mbr_fraction": FIG51_MBR_FRACTION,
+            "k": FIG51_K,
+            "queries": FIG51_QUERIES,
+        },
+        "algorithms": results,
+    }
+
+
+def _disk_baseline(repeats: int) -> dict:
+    import numpy as np
+
+    data = pp_like(FIG51_DATASET_SIZE)
+    tree = RTree.bulk_load(data, capacity=50)
+    query_points = np.random.default_rng(FIG51_SEED).uniform(
+        data.min(axis=0), data.max(axis=0), size=(DISK_QUERY_POINTS, 2)
+    )
+
+    results: dict = {}
+    for name, algorithm in DISK_ALGORITHMS:
+        def run(algorithm=algorithm):
+            query_file = PointFile(
+                query_points,
+                points_per_page=DISK_POINTS_PER_PAGE,
+                block_pages=DISK_BLOCK_PAGES,
+            )
+            algorithm(tree, query_file, k=DISK_K)
+            return 1
+
+        query_file = PointFile(
+            query_points, points_per_page=DISK_POINTS_PER_PAGE, block_pages=DISK_BLOCK_PAGES
+        )
+        cost = algorithm(tree, query_file, k=DISK_K).cost
+        results[name] = {
+            "ms_per_query": round(_median_runtime(run, repeats) * 1000.0, 4),
+            "node_accesses": cost.node_accesses,
+            "page_reads": cost.page_reads,
+            "block_reads": cost.block_reads,
+        }
+    return {
+        "setting": {
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "query_points": DISK_QUERY_POINTS,
+            "points_per_page": DISK_POINTS_PER_PAGE,
+            "block_pages": DISK_BLOCK_PAGES,
+            "k": DISK_K,
+        },
+        "algorithms": results,
+    }
+
+
+def quick_baseline(repeats: int = 5) -> dict:
+    """Measure both configurations and return the baseline document."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "memory_fig5_1": _memory_baseline(repeats),
+        "disk": _disk_baseline(repeats),
+    }
+
+
+def write_baseline(path: str = DEFAULT_OUTPUT, repeats: int = 5) -> dict:
+    """Measure and write ``path``; returns the document."""
+    document = quick_baseline(repeats=repeats)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document

@@ -20,16 +20,19 @@ from collections.abc import Iterator
 
 from repro.core.instrumentation import CostTracker
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery
+from repro.rtree.flat import FlatRTree
 from repro.rtree.traversal import Neighbor, incremental_nearest_generic
 from repro.rtree.tree import RTree
 
 
-def group_nn_stream(tree: RTree, query: GroupQuery) -> Iterator[Neighbor]:
+def group_nn_stream(tree: RTree | FlatRTree, query: GroupQuery) -> Iterator[Neighbor]:
     """Yield data points in ascending aggregate distance to the query group.
 
     The stream is incremental: consuming it lazily retrieves additional
     group neighbors without restarting the search, which is exactly the
-    capability F-MQM needs from its per-block searches.
+    capability F-MQM needs from its per-block searches.  Over a flat
+    snapshot the same vectorised keys drive the array traversal, with
+    identical emission order and charges.
     """
 
     def node_key(mbr):
@@ -53,7 +56,7 @@ def group_nn_stream(tree: RTree, query: GroupQuery) -> Iterator[Neighbor]:
     )
 
 
-def aggregate_gnn(tree: RTree, query: GroupQuery) -> GNNResult:
+def aggregate_gnn(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
     """Exact k-GNN retrieval for any supported aggregate via best-first search."""
     tracker = CostTracker(f"best-first-{query.aggregate}", trees=[tree])
     neighbors: list[GroupNeighbor] = []

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.geometry.distance import distances_to_group, group_distance
+from repro.geometry.distance import distances_to_group
 from repro.geometry.point import as_points
 
 #: Convergence tolerance on the movement of the iterate between steps.
@@ -55,19 +55,38 @@ def gradient_descent_centroid(
     if spread == 0.0:
         return q
     eta = step_size if step_size is not None else spread / max(4, pts.shape[0])
-    value = group_distance(q, pts)
+
+    # The loop below runs a few hundred small numpy calls per query, so
+    # it evaluates through preallocated buffers and np.add.reduce — the
+    # reduction np.sum dispatches to — instead of the validating helper
+    # functions.  The arithmetic is identical op for op (subtract,
+    # square, reduce, sqrt on the same operands in the same order), so
+    # the returned centroid is bit-for-bit the one the helpers produce;
+    # SPM's pruning bounds and pinned counters depend on that.
+    delta = np.empty_like(pts)
+    squared = np.empty(pts.shape[0], dtype=np.float64)
+
+    def distances_from(reference: np.ndarray) -> np.ndarray:
+        np.subtract(pts, reference, out=delta)
+        np.multiply(delta, delta, out=delta)
+        np.add.reduce(delta, axis=1, out=squared)
+        return np.sqrt(squared, out=squared)
+
+    value = float(distances_from(q).sum(axis=-1))
 
     for _ in range(max_iterations):
-        dists = distances_to_group(q, pts)
+        dists = distances_from(q)
         # Guard against a zero distance (q coincides with a query point):
         # that point contributes no well-defined gradient direction.
         safe = np.where(dists > 0.0, dists, np.inf)
-        gradient = np.sum((q - pts) / safe[:, None], axis=0)
+        np.subtract(q, pts, out=delta)
+        np.divide(delta, safe[:, None], out=delta)
+        gradient = np.add.reduce(delta, axis=0)
         grad_norm = float(np.sqrt(np.dot(gradient, gradient)))
         if grad_norm <= tolerance:
             break
         candidate = q - eta * gradient
-        candidate_value = group_distance(candidate, pts)
+        candidate_value = float(distances_from(candidate).sum(axis=-1))
         if candidate_value < value:
             if np.all(np.abs(candidate - q) <= tolerance * max(1.0, spread)):
                 q = candidate

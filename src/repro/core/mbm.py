@@ -33,11 +33,12 @@ from repro.core.heuristics import (
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
 from repro.geometry import kernels
+from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
 
 
 def mbm(
-    tree: RTree,
+    tree: RTree | FlatRTree,
     query: GroupQuery,
     traversal: str = "best_first",
     use_heuristic3: bool = True,
@@ -47,7 +48,10 @@ def mbm(
     Parameters
     ----------
     tree:
-        R-tree over the dataset ``P``.
+        R-tree over the dataset ``P``; a flat snapshot
+        (:class:`~repro.rtree.flat.FlatRTree`) is accepted for the
+        best-first traversal and returns bit-identical results with
+        identical node-access and distance-computation counts.
     query:
         The query group; the sum aggregate matches the paper, and the
         weighted / max / min generalisations are accepted as well (the
@@ -61,12 +65,20 @@ def mbm(
     """
     if traversal not in ("best_first", "depth_first"):
         raise ValueError(f"unknown traversal {traversal!r}")
+    is_flat = isinstance(tree, FlatRTree)
+    if is_flat and traversal != "best_first":
+        raise ValueError(
+            "flat snapshots only support the best-first traversal; "
+            "run depth-first MBM against the object R-tree"
+        )
     tracker = CostTracker(f"MBM-{traversal}", trees=[tree])
     best = BestList(query.k)
     if len(tree) == 0:
         return GNNResult(neighbors=[], cost=tracker.finish())
 
-    if traversal == "best_first":
+    if is_flat:
+        _mbm_best_first_flat(tree, query, best, use_heuristic3)
+    elif traversal == "best_first":
         _mbm_best_first(tree, query, best, use_heuristic3)
     else:
         _mbm_depth_first(tree, tree.root, query, best, use_heuristic3)
@@ -136,6 +148,121 @@ def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
             heapq.heappush(
                 heap, (float(child_mindists[index]), next(counter), node.entries[index].child)
             )
+
+
+def _mbm_best_first_flat(flat, query, best, use_heuristic3) -> None:
+    """Best-first MBM over a flat snapshot: arrays in, integer heap items out.
+
+    Mirrors :func:`_mbm_best_first` decision for decision — the same
+    kernels score the same child slices, Heuristics 2/3 see the same
+    floats, children are pushed in the same order — so the node-access
+    and distance-computation counts (and the answers) are identical.
+    The only differences are mechanical: child bounds come from array
+    slices instead of per-node caches and heap entries carry node ids.
+    """
+    query_mbr = query.mbr
+    divisor = _divisor(query)
+    counter = itertools.count()
+    heap: list[tuple[float, int, int]] = [(0.0, next(counter), 0)]
+    stats = flat.stats
+    child_start = flat.child_start
+    child_count = flat.child_count
+    levels = flat.levels
+    all_lows = flat.lows
+    all_highs = flat.highs
+    scorer = kernels.scorer_for(query.points, query.weights, query.aggregate, flat.capacity)
+
+    while heap:
+        mindist_to_m, _, node_id = heapq.heappop(heap)
+        if best.is_full() and heuristic2_prunes(mindist_to_m, best.best_dist, divisor):
+            break
+        index = flat.read_node(node_id)
+        start = int(child_start[index])
+        stop = start + int(child_count[index])
+        if levels[index] == 0:
+            _process_leaf_flat(flat, start, stop, query, best, divisor, scorer)
+            continue
+        lows = all_lows[start:stop]
+        highs = all_highs[start:stop]
+        if scorer is not None:
+            child_mindists = scorer.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
+        else:
+            child_mindists = kernels.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
+        stats.record_distance_computations(stop - start)
+        if best.is_full():
+            survives = ~heuristic2_prunes_batch(child_mindists, best.best_dist, divisor)
+        else:
+            survives = np.ones(stop - start, dtype=bool)
+        if use_heuristic3 and best.is_full() and survives.any():
+            indices = np.flatnonzero(survives)
+            if scorer is not None:
+                # boxes_group_sum_mindist shares no state with the box
+                # buffer holding child_mindists, so the bounds can be
+                # computed before the surviving children are pushed.
+                lower_bounds = scorer.boxes_group_sum_mindist(lows[indices], highs[indices])
+            else:
+                lower_bounds = query.mindist_lower_bounds(lows[indices], highs[indices])
+            stats.record_distance_computations(query.cardinality * indices.size)
+            survives[indices[heuristic3_prunes_batch(lower_bounds, best.best_dist)]] = False
+        for offset in np.flatnonzero(survives):
+            heapq.heappush(
+                heap, (float(child_mindists[offset]), next(counter), start + int(offset))
+            )
+
+
+def _process_leaf_flat(flat, start, stop, query, best, divisor, scorer=None) -> None:
+    """Leaf consumption over the flat point matrix with a pure-float loop.
+
+    The candidate selection (Heuristic-2 mask over the mindist ordering)
+    and the batched aggregate distances are exactly those of
+    :func:`_process_leaf`.  The sequential replay below inlines the
+    Heuristic-2 inequality, skips ``offer`` calls that provably return
+    False (a full best-list and ``distance >= best_dist``), and records
+    the per-candidate distance charges — ``n`` for every candidate
+    consumed before the break — as one batched charge with the same
+    total.
+    """
+    query_mbr = query.mbr
+    coords = flat.points[start:stop]
+    if scorer is not None:
+        mindists = scorer.points_mindist_box(coords, query_mbr.low, query_mbr.high)
+    else:
+        mindists = kernels.points_mindist_box(coords, query_mbr.low, query_mbr.high)
+    flat.stats.record_distance_computations(stop - start)
+    order = np.argsort(mindists, kind="stable")
+    if best.is_full():
+        candidates = order[~heuristic2_prunes_batch(mindists[order], best.best_dist, divisor)]
+    else:
+        candidates = order
+    if candidates.size == 0:
+        return
+    if scorer is not None:
+        # mindists lives in the scorer's box buffer, which the group
+        # kernel below does not touch; both are consumed via tolist()
+        # before any further scorer call.
+        distances = scorer.group_sum_distances(coords[candidates])
+    else:
+        distances = query.distances_to(coords[candidates])
+
+    candidate_mindists = mindists[candidates].tolist()
+    candidate_distances = distances.tolist()
+    record_ids = flat.record_ids
+    points = flat.points
+    offer = best.offer
+    best_dist = best.best_dist
+    full = best.is_full()
+    consumed = 0
+    for position, offset in enumerate(candidates.tolist()):
+        if full and candidate_mindists[position] >= best_dist / divisor:
+            break
+        consumed += 1
+        distance = candidate_distances[position]
+        if not full or distance < best_dist:
+            row = start + offset
+            offer(int(record_ids[row]), points[row], distance)
+            best_dist = best.best_dist
+            full = best.is_full()
+    flat.stats.record_distance_computations(query.cardinality * consumed)
 
 
 def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:

@@ -18,17 +18,21 @@ from __future__ import annotations
 from repro.geometry.hilbert import hilbert_sort
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.rtree.flat import FlatRTree
 from repro.rtree.traversal import incremental_nearest
 from repro.rtree.tree import RTree
 
 
-def mqm(tree: RTree, query: GroupQuery) -> GNNResult:
+def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
     """Run the multiple query method and return the k group nearest neighbors.
 
     Parameters
     ----------
     tree:
-        R-tree over the dataset ``P``.
+        R-tree over the dataset ``P``; a flat snapshot
+        (:class:`~repro.rtree.flat.FlatRTree`) is accepted and the
+        per-query-point incremental streams then run entirely over its
+        arrays, with identical results and accounting.
     query:
         The query group; ``query.aggregate`` must be ``"sum"`` — the
         threshold argument relies on the additivity of the aggregate

@@ -23,12 +23,16 @@ from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
 from repro.geometry import kernels
 from repro.geometry.distance import euclidean, group_distance
-from repro.rtree.traversal import incremental_nearest_generic
+from repro.rtree.flat import FlatRTree
+from repro.rtree.traversal import (
+    flat_incremental_nearest_generic,
+    incremental_nearest_generic,
+)
 from repro.rtree.tree import RTree
 
 
 def spm(
-    tree: RTree,
+    tree: RTree | FlatRTree,
     query: GroupQuery,
     traversal: str = "best_first",
     centroid_method: str = "gradient",
@@ -38,7 +42,10 @@ def spm(
     Parameters
     ----------
     tree:
-        R-tree over the dataset ``P``.
+        R-tree over the dataset ``P``; a flat snapshot
+        (:class:`~repro.rtree.flat.FlatRTree`) is accepted for the
+        best-first traversal and returns bit-identical results with
+        identical node-access and distance-computation counts.
     query:
         The query group (sum aggregate, unweighted — as defined in the paper).
     traversal:
@@ -54,6 +61,12 @@ def spm(
         raise ValueError("SPM does not support weighted queries; use MBM instead")
     if traversal not in ("best_first", "depth_first"):
         raise ValueError(f"unknown traversal {traversal!r}")
+    is_flat = isinstance(tree, FlatRTree)
+    if is_flat and traversal != "best_first":
+        raise ValueError(
+            "flat snapshots only support the best-first traversal; "
+            "run depth-first SPM against the object R-tree"
+        )
 
     tracker = CostTracker(f"SPM-{traversal}", trees=[tree])
     best = BestList(query.k)
@@ -63,7 +76,9 @@ def spm(
     centroid = compute_centroid(query.points, method=centroid_method)
     centroid_distance = group_distance(centroid, query.points)
 
-    if traversal == "best_first":
+    if is_flat:
+        _spm_best_first_flat(tree, query, centroid, centroid_distance, best)
+    elif traversal == "best_first":
         _spm_best_first(tree, query, centroid, centroid_distance, best)
     else:
         _spm_depth_first(tree, tree.root, query, centroid, centroid_distance, best)
@@ -98,6 +113,65 @@ def _spm_best_first(tree, query, centroid, centroid_distance, best) -> None:
         distance = query.distance_to_canonical(neighbor.point)
         tree.stats.record_distance_computations(n)
         best.offer(neighbor.record_id, neighbor.point, distance)
+
+
+def _spm_best_first_flat(flat, query, centroid, centroid_distance, best) -> None:
+    """Flat-snapshot SPM: batched keys *and* batched aggregate distances.
+
+    The stream scores whole leaf slices per pop and carries the exact
+    ``dist(p, Q)`` of every emitted point (computed per leaf in one
+    kernel call, bit-identical to the scalar evaluation — the kernel
+    conformance suite pins this), so the consumer below is a pure-float
+    loop: Heuristic 1 is inlined with the same arithmetic as
+    :func:`~repro.core.heuristics.heuristic1_prunes_point`, offers are
+    skipped only when they provably cannot enter the top-k (``offer``
+    would return False), and the distance-computation charge — ``n`` per
+    consumed neighbor, exactly as the object-tree loop charges — is
+    accumulated and recorded once.
+    """
+    n = query.cardinality
+    scorer = kernels.scorer_for(query.points, query.weights, query.aggregate, flat.capacity)
+
+    if scorer is not None:
+        # The stream tolist()s every key/aux batch before the next pop,
+        # so the scorer's reused buffers are safe to hand out here.
+        def points_key(points):
+            return scorer.point_distances(points, centroid)
+
+        def mbrs_key(lows, highs):
+            return scorer.boxes_mindist_point(lows, highs, centroid)
+
+        def points_aux(points):
+            return scorer.group_sum_distances(points)
+
+    else:
+
+        def points_key(points):
+            return kernels.point_distances(points, centroid)
+
+        def mbrs_key(lows, highs):
+            return kernels.boxes_mindist_point(lows, highs, centroid)
+
+        def points_aux(points):
+            return query.distances_to(points)
+
+    stream = flat_incremental_nearest_generic(
+        flat, points_key, mbrs_key, points_aux=points_aux
+    )
+    offer = best.offer
+    consumed = 0
+    best_dist = best.best_dist
+    full = best.is_full()
+    for neighbor in stream:
+        if neighbor.distance >= (best_dist + centroid_distance) / n:
+            break
+        consumed += 1
+        distance = neighbor.aux
+        if not full or distance < best_dist:
+            offer(neighbor.record_id, neighbor.point, distance)
+            best_dist = best.best_dist
+            full = best.is_full()
+    flat.stats.record_distance_computations(n * consumed)
 
 
 def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> None:

@@ -207,6 +207,158 @@ def boxes_group_mindist(
 
 
 # ----------------------------------------------------------------------
+# workspace-backed 2-D kernels (the flat snapshot's hot path)
+# ----------------------------------------------------------------------
+class Scorer2D:
+    """Reusable evaluation buffers for one 2-D query over a flat index.
+
+    The flat traversals score one child/leaf slice per heap pop; at that
+    rate the general kernels above spend much of their time allocating
+    broadcast temporaries and dispatching through ``np.sum``.  This
+    scorer preallocates every intermediate once per query and evaluates
+    the same arithmetic through explicit ufunc calls with ``out=``:
+
+    * per-axis subtraction and squaring instead of a ``(m, n, 2)``
+      difference tensor — summing a length-2 axis is exactly
+      ``x + y``, so the per-axis form is bit-identical;
+    * ``np.add.reduce`` instead of ``np.sum`` / ``ndarray.sum`` — which
+      is the reduction those helpers dispatch to internally.
+
+    Every method returns a **view into a reused buffer**: the caller
+    must consume (or copy) the result before the next scorer call.
+    Results are bit-identical to the corresponding general kernels for
+    the unweighted ``sum`` aggregate in two dimensions; callers fall
+    back to the general kernels for anything else.
+    """
+
+    __slots__ = ("group_x", "group_y", "_mn_a", "_mn_b", "_mn_c", "_m_a", "_m_b", "_m_out")
+
+    def __init__(self, group: np.ndarray, capacity: int):
+        if group.ndim != 2 or group.shape[1] != 2:
+            raise ValueError("Scorer2D requires a 2-D query group")
+        capacity = max(1, int(capacity))
+        n = group.shape[0]
+        self.group_x = np.ascontiguousarray(group[:, 0])
+        self.group_y = np.ascontiguousarray(group[:, 1])
+        self._mn_a = np.empty((capacity, n), dtype=np.float64)
+        self._mn_b = np.empty((capacity, n), dtype=np.float64)
+        self._mn_c = np.empty((capacity, n), dtype=np.float64)
+        self._m_a = np.empty(capacity, dtype=np.float64)
+        self._m_b = np.empty(capacity, dtype=np.float64)
+        self._m_out = np.empty(capacity, dtype=np.float64)
+
+    # -- point/box kernels against a single reference ------------------
+    def point_distances(self, points: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """:func:`point_distances` (Euclidean) into reused buffers."""
+        m = points.shape[0]
+        a, b = self._m_a[:m], self._m_b[:m]
+        np.subtract(points[:, 0], q[0], out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(points[:, 1], q[1], out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
+    def points_mindist_box(self, points: np.ndarray, low: np.ndarray, high: np.ndarray) -> np.ndarray:
+        """:func:`points_mindist_box` into reused buffers."""
+        m = points.shape[0]
+        a, b = self._m_a[:m], self._m_b[:m]
+        x, y = points[:, 0], points[:, 1]
+        np.subtract(low[0], x, out=a)
+        np.subtract(x, high[0], out=b)
+        np.maximum(a, b, out=a)
+        np.maximum(a, 0.0, out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(low[1], y, out=b)
+        np.subtract(y, high[1], out=self._m_out[:m])
+        np.maximum(b, self._m_out[:m], out=b)
+        np.maximum(b, 0.0, out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
+    def boxes_mindist_point(self, lows: np.ndarray, highs: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """:func:`boxes_mindist_point` into reused buffers."""
+        m = lows.shape[0]
+        a, b = self._m_a[:m], self._m_b[:m]
+        np.subtract(lows[:, 0], q[0], out=a)
+        np.subtract(q[0], highs[:, 0], out=b)
+        np.maximum(a, b, out=a)
+        np.maximum(a, 0.0, out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(lows[:, 1], q[1], out=b)
+        np.subtract(q[1], highs[:, 1], out=self._m_out[:m])
+        np.maximum(b, self._m_out[:m], out=b)
+        np.maximum(b, 0.0, out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
+    def boxes_mindist_box(
+        self, lows: np.ndarray, highs: np.ndarray, low: np.ndarray, high: np.ndarray
+    ) -> np.ndarray:
+        """:func:`boxes_mindist_box` into reused buffers."""
+        m = lows.shape[0]
+        a, b = self._m_a[:m], self._m_b[:m]
+        np.subtract(lows[:, 0], high[0], out=a)
+        np.subtract(low[0], highs[:, 0], out=b)
+        np.maximum(a, b, out=a)
+        np.maximum(a, 0.0, out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(lows[:, 1], high[1], out=b)
+        np.subtract(low[1], highs[:, 1], out=self._m_out[:m])
+        np.maximum(b, self._m_out[:m], out=b)
+        np.maximum(b, 0.0, out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
+    # -- group kernels (unweighted sum aggregate) ----------------------
+    def group_sum_distances(self, points: np.ndarray) -> np.ndarray:
+        """:func:`aggregate_distances` (sum, unweighted) into reused buffers."""
+        m = points.shape[0]
+        a, b = self._mn_a[:m], self._mn_b[:m]
+        np.subtract(points[:, None, 0], self.group_x[None, :], out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(points[:, None, 1], self.group_y[None, :], out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        np.sqrt(a, out=a)
+        return np.add.reduce(a, axis=1, out=self._m_out[:m])
+
+    def boxes_group_sum_mindist(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """:func:`boxes_group_mindist` (sum, unweighted) into reused buffers."""
+        m = lows.shape[0]
+        a, b = self._mn_a[:m], self._mn_b[:m]
+        np.subtract(lows[:, None, 0], self.group_x[None, :], out=a)
+        np.subtract(self.group_x[None, :], highs[:, None, 0], out=b)
+        np.maximum(a, b, out=a)
+        np.maximum(a, 0.0, out=a)
+        np.multiply(a, a, out=a)
+        c = self._mn_c[:m]
+        np.subtract(lows[:, None, 1], self.group_y[None, :], out=b)
+        np.subtract(self.group_y[None, :], highs[:, None, 1], out=c)
+        np.maximum(b, c, out=b)
+        np.maximum(b, 0.0, out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        np.sqrt(a, out=a)
+        return np.add.reduce(a, axis=1, out=self._m_out[:m])
+
+
+def scorer_for(group: np.ndarray, weights, aggregate: str, capacity: int) -> Scorer2D | None:
+    """A :class:`Scorer2D` when the query qualifies for the 2-D fast path.
+
+    The scorer's group kernels specialise the unweighted ``sum``
+    aggregate in two dimensions — exactly the paper's setting; any other
+    combination returns ``None`` and callers use the general kernels.
+    """
+    if group.ndim == 2 and group.shape[1] == 2 and weights is None and aggregate == SUM:
+        return Scorer2D(group, capacity)
+    return None
+
+
+# ----------------------------------------------------------------------
 # weighted-summary kernels (F-MBM's Heuristics 5/6 bounds)
 # ----------------------------------------------------------------------
 def boxes_weighted_group_mindist(

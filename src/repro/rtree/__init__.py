@@ -15,11 +15,13 @@ The package provides:
 
 from repro.rtree.closest_pairs import incremental_closest_pairs
 from repro.rtree.entry import ChildEntry, LeafEntry
+from repro.rtree.flat import FlatRTree
 from repro.rtree.node import Node
 from repro.rtree.stats import TreeStats
 from repro.rtree.traversal import (
     best_first_nearest,
     depth_first_nearest,
+    flat_incremental_nearest_generic,
     incremental_nearest,
     incremental_nearest_generic,
 )
@@ -27,12 +29,14 @@ from repro.rtree.tree import RTree
 
 __all__ = [
     "ChildEntry",
+    "FlatRTree",
     "LeafEntry",
     "Node",
     "RTree",
     "TreeStats",
     "best_first_nearest",
     "depth_first_nearest",
+    "flat_incremental_nearest_generic",
     "incremental_closest_pairs",
     "incremental_nearest",
     "incremental_nearest_generic",

@@ -73,6 +73,18 @@ def str_pack(points: np.ndarray, capacity: int) -> Node:
     return _pack_upwards(leaves, capacity)
 
 
+def pack(points: np.ndarray, capacity: int, method: str = "str") -> Node:
+    """Bulk load with a named packing strategy (``"str"`` or ``"hilbert"``).
+
+    The single entry point shared by ``RTree.bulk_load`` and
+    ``FlatRTree.bulk_load``, so both index flavours accept exactly the
+    same methods and fail with the same message on a typo.
+    """
+    if method not in PACKERS:
+        raise ValueError(f"unknown bulk-load method {method!r}")
+    return PACKERS[method](points, capacity)
+
+
 def hilbert_pack(points: np.ndarray, capacity: int) -> Node:
     """Bulk load points in Hilbert-curve order."""
     pts = as_points(points)
@@ -85,3 +97,10 @@ def hilbert_pack(points: np.ndarray, capacity: int) -> Node:
             leaf.add(LeafEntry(pts[record_id], int(record_id)))
         leaves.append(leaf)
     return _pack_upwards(leaves, capacity)
+
+
+#: Registered packing strategies by name (consulted by :func:`pack`).
+PACKERS = {
+    "str": str_pack,
+    "hilbert": hilbert_pack,
+}

@@ -1,0 +1,408 @@
+"""Flat array-backed R-tree snapshots.
+
+:class:`FlatRTree` is a read-optimized, immutable snapshot of an R-tree:
+the whole index lives in a handful of contiguous numpy arrays instead of
+linked Python ``Node``/``Entry`` objects.  Nodes are numbered in
+breadth-first order (the root is node 0) so that the children of every
+internal node — and the points of every leaf — occupy one contiguous
+slice:
+
+================  =====================================================
+``lows/highs``    ``(num_nodes, dims)`` — the MBR of every node, exactly
+                  the bounds the parent entry stored in the object tree
+                  (the root row is the tree's computed MBR).
+``child_start``   CSR-style offsets: for an internal node the id of its
+``child_count``   first child; for a leaf the row of its first point in
+                  ``points``.
+``levels``        per-node level (0 for leaves), so all traversal state
+                  is plain integers.
+``node_ids``      the object tree's page ids, preserved so an attached
+                  LRU buffer sees the *same* page-access sequence as the
+                  dynamic tree (hit/miss parity).
+``points``        ``(size, dims)`` leaf-point matrix in leaf order, with
+``record_ids``    the matching record identifiers.
+================  =====================================================
+
+Best-first traversal over this layout never touches a Python ``Node``:
+a heap pop scores an entire child slice (or leaf slice) with one kernel
+call and pushes plain ``(key, counter, int)`` tuples.  The traversal
+loops themselves live in :mod:`repro.rtree.traversal`
+(``flat_incremental_nearest_generic``) and :mod:`repro.core.mbm`; they
+charge node accesses and distance computations exactly like the
+object-tree paths, so results, counters and buffer behaviour are
+bit-identical.
+
+A snapshot round-trips to disk as an *uncompressed* ``.npz`` archive.
+``load(..., mmap_mode="r")`` maps the arrays straight out of the archive
+(the stored ``.npy`` members are located inside the zip and wrapped in
+``np.memmap``), so a large index opens in milliseconds and leaf pages
+are paged in by the OS on demand — the number of OS pages spanned is
+reported through :class:`repro.storage.counters.MappedPageCounters`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zipfile
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+from repro.rtree.stats import TreeStats
+from repro.storage.counters import MappedPageCounters
+
+#: Array names persisted by :meth:`FlatRTree.save`.
+_ARRAY_FIELDS = (
+    "lows",
+    "highs",
+    "child_start",
+    "child_count",
+    "levels",
+    "node_ids",
+    "points",
+    "record_ids",
+)
+
+#: Scalar metadata persisted alongside the arrays.
+_META_FIELDS = ("dims", "size", "capacity", "height")
+
+#: On-disk format version (bumped on incompatible layout changes).
+FORMAT_VERSION = 1
+
+#: Sentinel distinguishing "not computed yet" from a legitimate None.
+_UNSET = object()
+
+
+class FlatRTree:
+    """A read-only, struct-of-arrays snapshot of an R-tree.
+
+    Instances are built with :meth:`from_tree` (snapshot an existing
+    :class:`~repro.rtree.tree.RTree`), :meth:`bulk_load` (pack a static
+    point set directly) or :meth:`load` (reopen a saved snapshot,
+    optionally memory-mapped).  The snapshot exposes the same accounting
+    surface as the dynamic tree — ``stats``, ``read_node``, an optional
+    LRU ``buffer`` — so every traversal charges costs identically.
+    """
+
+    __slots__ = (
+        "dims",
+        "size",
+        "capacity",
+        "height",
+        "lows",
+        "highs",
+        "child_start",
+        "child_count",
+        "levels",
+        "node_ids",
+        "points",
+        "record_ids",
+        "stats",
+        "buffer",
+        "mmap_io",
+        "_points_cache",
+    )
+
+    def __init__(self, arrays: dict, meta: dict, buffer=None, mmap_io=None):
+        for name in _ARRAY_FIELDS:
+            setattr(self, name, arrays[name])
+        self.dims = int(meta["dims"])
+        self.size = int(meta["size"])
+        self.capacity = int(meta["capacity"])
+        self.height = int(meta["height"])
+        self.stats = TreeStats()
+        self.buffer = buffer
+        self.mmap_io = mmap_io
+        self._points_cache = _UNSET
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, tree, buffer="inherit") -> "FlatRTree":
+        """Snapshot an existing :class:`~repro.rtree.tree.RTree`.
+
+        The breadth-first walk preserves entry (storage) order, so a
+        best-first traversal over the snapshot pushes, pops and reads in
+        exactly the same sequence as over the object tree.  ``buffer``
+        defaults to sharing the tree's LRU buffer; pass ``None`` (or a
+        different buffer) to detach.
+        """
+        dims = tree.dims
+        if buffer == "inherit":
+            buffer = tree.buffer
+
+        lows: list = []
+        highs: list = []
+        child_start: list = []
+        child_count: list = []
+        levels: list = []
+        node_ids: list = []
+        point_rows: list = []
+        record_ids: list = []
+
+        if tree.size == 0:
+            arrays = {
+                "lows": np.zeros((1, dims), dtype=np.float64),
+                "highs": np.zeros((1, dims), dtype=np.float64),
+                "child_start": np.zeros(1, dtype=np.int64),
+                "child_count": np.zeros(1, dtype=np.int64),
+                "levels": np.zeros(1, dtype=np.int16),
+                "node_ids": np.array([tree.root.node_id], dtype=np.int64),
+                "points": np.zeros((0, dims), dtype=np.float64),
+                "record_ids": np.zeros(0, dtype=np.int64),
+            }
+        else:
+            root_mbr = tree.root.compute_mbr()
+            queue = [tree.root]
+            queue_mbrs = [root_mbr]
+            index = 0
+            while index < len(queue):
+                node = queue[index]
+                mbr = queue_mbrs[index]
+                lows.append(np.asarray(mbr.low, dtype=np.float64))
+                highs.append(np.asarray(mbr.high, dtype=np.float64))
+                levels.append(node.level)
+                node_ids.append(node.node_id)
+                if node.is_leaf:
+                    child_start.append(len(point_rows))
+                    child_count.append(len(node.entries))
+                    for entry in node.entries:
+                        point_rows.append(np.asarray(entry.point, dtype=np.float64))
+                        record_ids.append(entry.record_id)
+                else:
+                    child_start.append(len(queue))
+                    child_count.append(len(node.entries))
+                    for entry in node.entries:
+                        queue.append(entry.child)
+                        queue_mbrs.append(entry.mbr)
+                index += 1
+            arrays = {
+                "lows": np.ascontiguousarray(np.vstack(lows)),
+                "highs": np.ascontiguousarray(np.vstack(highs)),
+                "child_start": np.asarray(child_start, dtype=np.int64),
+                "child_count": np.asarray(child_count, dtype=np.int64),
+                "levels": np.asarray(levels, dtype=np.int16),
+                "node_ids": np.asarray(node_ids, dtype=np.int64),
+                "points": np.ascontiguousarray(np.vstack(point_rows)),
+                "record_ids": np.asarray(record_ids, dtype=np.int64),
+            }
+        meta = {
+            "dims": dims,
+            "size": tree.size,
+            "capacity": tree.capacity,
+            "height": tree.height,
+        }
+        return cls(arrays, meta, buffer=buffer)
+
+    @classmethod
+    def bulk_load(
+        cls, points, capacity: int = 50, method: str = "str", buffer=None
+    ) -> "FlatRTree":
+        """Pack a static point set straight into a flat snapshot.
+
+        Runs the same STR/Hilbert packer as ``RTree.bulk_load`` and
+        flattens the result, so the snapshot is structurally identical
+        to ``FlatRTree.from_tree(RTree.bulk_load(...))``.
+        """
+        from repro.rtree.tree import RTree
+
+        tree = RTree.bulk_load(points, capacity=capacity, method=method, buffer=buffer)
+        return cls.from_tree(tree, buffer=buffer)
+
+    # ------------------------------------------------------------------
+    # access accounting (mirrors RTree.read_node)
+    # ------------------------------------------------------------------
+    def read_node(self, index: int) -> int:
+        """Charge one node access for node ``index`` and return it.
+
+        The buffer (when attached) is keyed by the preserved object-tree
+        page ids, so hit/miss sequences match the dynamic tree exactly.
+        """
+        hit = False
+        if self.buffer is not None:
+            hit = self.buffer.access(int(self.node_ids[index]))
+        self.stats.record_node_access(bool(self.levels[index] == 0), buffer_hit=hit)
+        return index
+
+    def reset_stats(self) -> None:
+        """Zero the access counters (the buffer contents are preserved)."""
+        self.stats.reset()
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes in the snapshot."""
+        return int(self.levels.shape[0])
+
+    def is_leaf(self, index: int) -> bool:
+        """True when node ``index`` is a leaf."""
+        return bool(self.levels[index] == 0)
+
+    def node_count(self) -> int:
+        """Total number of nodes (API parity with :class:`RTree`)."""
+        return self.num_nodes
+
+    def points_by_record_id(self) -> np.ndarray | None:
+        """The dataset in record-id order, or None when ids are not 0..N-1.
+
+        Bulk-loaded trees use row indices as record ids, so the original
+        ``(N, dims)`` dataset can be reconstructed exactly; trees with
+        arbitrary ids cannot.  The reconstruction copies the point
+        matrix once and is cached — snapshot-only engines call this
+        lazily on the first brute-force spec.
+        """
+        if self._points_cache is _UNSET:
+            self._points_cache = self._reconstruct_points()
+        return self._points_cache
+
+    def _reconstruct_points(self) -> np.ndarray | None:
+        if self.size == 0:
+            return np.array(self.points)
+        order = np.argsort(self.record_ids, kind="stable")
+        if not np.array_equal(self.record_ids[order], np.arange(self.size)):
+            return None
+        return np.ascontiguousarray(self.points[order])
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Write the snapshot as an *uncompressed* ``.npz`` archive.
+
+        Uncompressed members are stored contiguously inside the zip,
+        which is what allows :meth:`load` to memory-map them in place.
+        The archive is written to exactly ``path`` (``np.savez``'s
+        silent ``.npz``-appending is bypassed), so ``save(p)`` /
+        ``load(p)`` always round-trip.
+        """
+        payload = {name: np.ascontiguousarray(getattr(self, name)) for name in _ARRAY_FIELDS}
+        payload["meta"] = np.array(
+            [FORMAT_VERSION, self.dims, self.size, self.capacity, self.height],
+            dtype=np.int64,
+        )
+        with open(path, "wb") as handle:
+            np.savez(handle, **payload)
+
+    @classmethod
+    def load(cls, path, mmap_mode: str | None = None, buffer=None) -> "FlatRTree":
+        """Reopen a saved snapshot.
+
+        With ``mmap_mode=None`` the arrays are materialised in memory.
+        With ``mmap_mode="r"`` each array is located inside the ``.npz``
+        archive and wrapped in a read-only ``np.memmap`` — nothing is
+        copied, the OS pages data in on demand, and the mapping extent
+        is reported on the returned snapshot's ``mmap_io`` counters.
+        """
+        if mmap_mode is None:
+            with np.load(path) as archive:
+                arrays = {name: np.array(archive[name]) for name in _ARRAY_FIELDS}
+                meta_row = np.array(archive["meta"])
+            return cls(arrays, _unpack_meta(meta_row), buffer=buffer)
+        if mmap_mode != "r":
+            raise ValueError(
+                f"unsupported mmap_mode {mmap_mode!r}: flat snapshots are "
+                "read-only, use mmap_mode='r' (or None to load into memory)"
+            )
+        arrays, mmap_io = _mmap_npz_arrays(path)
+        meta_row = np.array(arrays.pop("meta"))
+        return cls(arrays, _unpack_meta(meta_row), buffer=buffer, mmap_io=mmap_io)
+
+    def __repr__(self) -> str:
+        mapped = ", mmap" if self.mmap_io is not None else ""
+        return (
+            f"FlatRTree(size={self.size}, dims={self.dims}, height={self.height}, "
+            f"nodes={self.num_nodes}{mapped})"
+        )
+
+
+def _unpack_meta(meta_row: np.ndarray) -> dict:
+    version = int(meta_row[0])
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported flat snapshot format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    return {
+        "dims": int(meta_row[1]),
+        "size": int(meta_row[2]),
+        "capacity": int(meta_row[3]),
+        "height": int(meta_row[4]),
+    }
+
+
+# ----------------------------------------------------------------------
+# memory-mapping .npy members inside an uncompressed .npz archive
+# ----------------------------------------------------------------------
+_LOCAL_HEADER_SIZE = 30  # fixed part of a zip local file header
+
+
+def _local_data_offset(raw, info: zipfile.ZipInfo) -> int:
+    """Byte offset of a stored member's data inside the archive file.
+
+    The local file header repeats the filename and carries its own extra
+    field (which may differ from the central directory's), so the header
+    must be parsed at ``info.header_offset`` rather than reconstructed.
+    """
+    raw.seek(info.header_offset)
+    header = raw.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != b"PK\x03\x04":
+        raise ValueError(f"corrupt zip local header for {info.filename!r}")
+    name_length, extra_length = struct.unpack("<HH", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_length + extra_length
+
+
+def _read_npy_header(member) -> tuple[tuple, bool, np.dtype, int]:
+    """Parse a ``.npy`` stream header; returns (shape, fortran, dtype, header_len)."""
+    version = npy_format.read_magic(member)
+    if version == (1, 0):
+        shape, fortran_order, dtype = npy_format.read_array_header_1_0(member)
+    elif version == (2, 0):
+        shape, fortran_order, dtype = npy_format.read_array_header_2_0(member)
+    else:
+        raise ValueError(f"unsupported .npy format version {version}")
+    return shape, fortran_order, dtype, member.tell()
+
+
+def _mmap_npz_arrays(path) -> tuple[dict, MappedPageCounters]:
+    """Map every array of an uncompressed ``.npz`` archive without copying."""
+    arrays: dict = {}
+    counters = MappedPageCounters()
+    with zipfile.ZipFile(path) as archive, open(path, "rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise ValueError(
+                    f"member {info.filename!r} is compressed; only archives "
+                    "written by FlatRTree.save (uncompressed np.savez) can "
+                    "be memory-mapped"
+                )
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[: -len(".npy")]
+            with archive.open(info.filename) as member:
+                shape, fortran_order, dtype, header_length = _read_npy_header(member)
+            if dtype.hasobject:
+                raise ValueError(f"member {info.filename!r} holds Python objects")
+            element_count = int(np.prod(shape)) if shape else 1
+            if element_count == 0:
+                arrays[name] = np.empty(shape, dtype=dtype)
+                continue
+            offset = _local_data_offset(raw, info) + header_length
+            arrays[name] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=offset,
+                shape=shape,
+                order="F" if fortran_order else "C",
+            )
+            # The "meta" header is copied out and discarded by load();
+            # the counters report only the index arrays that stay mapped.
+            if name != "meta":
+                counters.record_mapped(element_count * dtype.itemsize)
+    return arrays, counters

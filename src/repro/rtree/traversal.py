@@ -23,6 +23,16 @@ same values as their scalar counterparts (the kernels in
 :mod:`repro.geometry.kernels` are built to guarantee this), so the heap
 order, the emitted stream and the node-access counts are identical
 either way.
+
+Heap entries are plain ``(key, tiebreak, payload)`` tuples in both
+modes.  On the object-tree path the payload is the ``Node`` or
+``LeafEntry`` itself; on the flat path
+(:func:`flat_incremental_nearest_generic`, used automatically when the
+index is a :class:`~repro.rtree.flat.FlatRTree`) the payload is a plain
+integer and no Python node objects exist at all.  The tiebreak counter
+is unique and strictly increasing, so tuple comparison never reaches
+the payload and push order — which is identical across all modes —
+decides ties exactly as before.
 """
 
 from __future__ import annotations
@@ -36,18 +46,26 @@ import numpy as np
 from repro.geometry import kernels
 from repro.geometry.mbr import MBR
 from repro.geometry.point import as_point
+from repro.rtree.flat import FlatRTree
+from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 
 
 class Neighbor:
-    """A single nearest-neighbor result."""
+    """A single nearest-neighbor result.
 
-    __slots__ = ("record_id", "point", "distance")
+    ``aux`` optionally carries a per-point value precomputed by the flat
+    traversal (e.g. the exact aggregate group distance, batched per leaf
+    by SPM); it never participates in the stream's ordering.
+    """
 
-    def __init__(self, record_id: int, point: np.ndarray, distance: float):
+    __slots__ = ("record_id", "point", "distance", "aux")
+
+    def __init__(self, record_id: int, point: np.ndarray, distance: float, aux=None):
         self.record_id = int(record_id)
         self.point = point
         self.distance = float(distance)
+        self.aux = aux
 
     def as_tuple(self) -> tuple[int, float]:
         """Return ``(record_id, distance)`` for compact comparisons in tests."""
@@ -58,9 +76,9 @@ class Neighbor:
 
 
 def incremental_nearest_generic(
-    tree: RTree,
-    node_key: Callable[[MBR], float],
-    point_key: Callable[[np.ndarray], float],
+    tree: RTree | FlatRTree,
+    node_key: Callable[[MBR], float] | None,
+    point_key: Callable[[np.ndarray], float] | None,
     *,
     points_key: Callable[[np.ndarray], np.ndarray] | None = None,
     mbrs_key: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
@@ -76,47 +94,136 @@ def incremental_nearest_generic(
     equivalents of ``point_key`` / ``node_key``; when provided, each
     popped node is scored with a single kernel call.  Entries are pushed
     in storage order in both modes, so tie-breaking is identical.
+
+    When ``tree`` is a :class:`~repro.rtree.flat.FlatRTree` the
+    traversal runs entirely over its arrays (vectorised keys are then
+    required) with identical emission order and accounting.
     """
+    if isinstance(tree, FlatRTree):
+        if points_key is None or mbrs_key is None:
+            raise ValueError(
+                "flat snapshots are traversed with vectorised keys; "
+                "pass points_key and mbrs_key"
+            )
+        return flat_incremental_nearest_generic(tree, points_key, mbrs_key)
+    return _object_incremental_nearest_generic(
+        tree, node_key, point_key, points_key=points_key, mbrs_key=mbrs_key
+    )
+
+
+def _object_incremental_nearest_generic(
+    tree: RTree,
+    node_key,
+    point_key,
+    *,
+    points_key=None,
+    mbrs_key=None,
+) -> Iterator[Neighbor]:
+    """The object-tree traversal behind :func:`incremental_nearest_generic`."""
     if len(tree) == 0:
         return
     counter = itertools.count()
-    heap: list[tuple[float, int, str, object]] = []
+    heap: list[tuple[float, int, object]] = []
     root_bound = node_key(tree.root.compute_mbr())
-    heapq.heappush(heap, (root_bound, next(counter), "node", tree.root))
+    heapq.heappush(heap, (root_bound, next(counter), tree.root))
 
     while heap:
-        key, _, kind, payload = heapq.heappop(heap)
-        if kind == "point":
-            record_id, point = payload
-            yield Neighbor(record_id, point, key)
+        key, _, payload = heapq.heappop(heap)
+        if not isinstance(payload, Node):
+            yield Neighbor(payload.record_id, payload.point, key)
             continue
         node = tree.read_node(payload)
         if node.is_leaf:
             if points_key is not None:
                 values = points_key(node.points_array())
                 for entry, value in zip(node.entries, values):
-                    heapq.heappush(
-                        heap, (float(value), next(counter), "point", (entry.record_id, entry.point))
-                    )
+                    heapq.heappush(heap, (float(value), next(counter), entry))
             else:
                 for entry in node.entries:
-                    value = point_key(entry.point)
-                    heapq.heappush(
-                        heap, (value, next(counter), "point", (entry.record_id, entry.point))
-                    )
+                    heapq.heappush(heap, (point_key(entry.point), next(counter), entry))
         else:
             if mbrs_key is not None:
                 lows, highs = node.child_bounds()
                 bounds = mbrs_key(lows, highs)
                 for entry, bound in zip(node.entries, bounds):
-                    heapq.heappush(heap, (float(bound), next(counter), "node", entry.child))
+                    heapq.heappush(heap, (float(bound), next(counter), entry.child))
             else:
                 for entry in node.entries:
-                    bound = node_key(entry.mbr)
-                    heapq.heappush(heap, (bound, next(counter), "node", entry.child))
+                    heapq.heappush(heap, (node_key(entry.mbr), next(counter), entry.child))
 
 
-def incremental_nearest(tree: RTree, query: Sequence[float]) -> Iterator[Neighbor]:
+def flat_incremental_nearest_generic(
+    flat: FlatRTree,
+    points_key: Callable[[np.ndarray], np.ndarray],
+    mbrs_key: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    points_aux: Callable[[np.ndarray], np.ndarray] | None = None,
+) -> Iterator[Neighbor]:
+    """Best-first stream over a flat snapshot; no ``Node`` objects exist.
+
+    Heap entries are plain tuples of floats and ints: nodes are
+    ``(bound, tiebreak, node_id)`` and leaf points
+    ``(key, tiebreak, row, record_id[, aux])`` — the record id is
+    converted once per leaf through ``tolist()`` so the yield path never
+    touches a numpy scalar.  Push order, key values and node-access
+    charges replicate the object-tree traversal exactly, so the emitted
+    stream (and any attached buffer's hit/miss sequence) is
+    bit-identical.
+
+    ``points_aux`` optionally computes one extra value per leaf point in
+    the same batched call pattern (e.g. the exact aggregate distance for
+    SPM's consumer); it is carried on ``Neighbor.aux`` and never affects
+    ordering or accounting.
+    """
+    if len(flat) == 0:
+        return
+    counter = itertools.count()
+    lows = flat.lows
+    highs = flat.highs
+    child_start = flat.child_start
+    child_count = flat.child_count
+    levels = flat.levels
+    points = flat.points
+    record_ids = flat.record_ids
+    read_node = flat.read_node
+    push = heapq.heappush
+    pop = heapq.heappop
+
+    root_bound = float(mbrs_key(lows[0:1], highs[0:1])[0])
+    heap: list[tuple] = [(root_bound, next(counter), 0)]
+
+    while heap:
+        item = pop(heap)
+        if len(item) != 3:
+            yield Neighbor(item[3], points[item[2]], item[0], item[4] if len(item) == 5 else None)
+            continue
+        index = read_node(item[2])
+        start = int(child_start[index])
+        stop = start + int(child_count[index])
+        if levels[index] == 0:
+            slice_points = points[start:stop]
+            values = points_key(slice_points).tolist()
+            ids = record_ids[start:stop].tolist()
+            if points_aux is not None:
+                aux_values = points_aux(slice_points).tolist()
+                row = start
+                for value, record_id, aux in zip(values, ids, aux_values):
+                    push(heap, (value, next(counter), row, record_id, aux))
+                    row += 1
+            else:
+                row = start
+                for value, record_id in zip(values, ids):
+                    push(heap, (value, next(counter), row, record_id))
+                    row += 1
+        else:
+            bounds = mbrs_key(lows[start:stop], highs[start:stop]).tolist()
+            for offset, bound in enumerate(bounds):
+                push(heap, (bound, next(counter), start + offset))
+
+
+def incremental_nearest(
+    tree: RTree | FlatRTree, query: Sequence[float]
+) -> Iterator[Neighbor]:
     """Yield indexed points in ascending Euclidean distance from ``query``."""
     q = as_point(query, dims=tree.dims)
 
@@ -138,7 +245,9 @@ def incremental_nearest(tree: RTree, query: Sequence[float]) -> Iterator[Neighbo
     )
 
 
-def best_first_nearest(tree: RTree, query: Sequence[float], k: int = 1) -> list[Neighbor]:
+def best_first_nearest(
+    tree: RTree | FlatRTree, query: Sequence[float], k: int = 1
+) -> list[Neighbor]:
     """Return the ``k`` nearest neighbors of ``query`` using best-first search."""
     if k < 1:
         raise ValueError("k must be at least 1")

@@ -16,7 +16,7 @@ import numpy as np
 from repro.geometry.mbr import MBR
 from repro.geometry.point import as_point, as_points
 from repro.rtree import rstar
-from repro.rtree.bulkload import hilbert_pack, str_pack
+from repro.rtree.bulkload import PACKERS, pack
 from repro.rtree.entry import ChildEntry, LeafEntry
 from repro.rtree.node import Node
 from repro.rtree.split import quadratic_split, rstar_split
@@ -31,10 +31,8 @@ _SPLIT_FUNCTIONS = {
     "quadratic": quadratic_split,
 }
 
-_BULK_LOADERS = {
-    "str": str_pack,
-    "hilbert": hilbert_pack,
-}
+#: Kept as an alias of the bulkload registry for backwards compatibility.
+_BULK_LOADERS = PACKERS
 
 
 class RTree:
@@ -103,10 +101,8 @@ class RTree:
         ``"hilbert"``).  Record ids are the row indices of ``points``.
         """
         pts = as_points(points)
-        if method not in _BULK_LOADERS:
-            raise ValueError(f"unknown bulk-load method {method!r}")
         tree = cls(dims=pts.shape[1], capacity=capacity, buffer=buffer, split=split)
-        tree.root = _BULK_LOADERS[method](pts, capacity)
+        tree.root = pack(pts, capacity, method=method)
         tree.size = pts.shape[0]
         tree._strict_fill = False
         return tree

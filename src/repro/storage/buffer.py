@@ -37,18 +37,44 @@ class LRUBuffer:
     def access(self, page_id: int) -> bool:
         """Touch ``page_id``; return True on a buffer hit, False on a fault.
 
-        A miss loads the page, evicting the least recently used page when
-        the buffer is full.
+        A miss loads the page, evicting least recently used pages while
+        the buffer is over capacity.  The page just touched is the most
+        recently used and is never the one evicted — even mid-sequence
+        with the buffer over capacity (e.g. after :meth:`resize` shrank
+        ``capacity`` below the resident count, or a single-page buffer
+        faulting on every access).
         """
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
             self.hits += 1
+            self._evict_over_capacity()
             return True
         self.misses += 1
         self._pages[page_id] = None
-        if len(self._pages) > self.capacity:
-            self._pages.popitem(last=False)
+        self._evict_over_capacity()
         return False
+
+    def _evict_over_capacity(self) -> None:
+        """Evict from the LRU end until within capacity.
+
+        The ``> 1`` guard keeps the most recently touched page resident
+        no matter what ``capacity`` says: an accounting sequence must
+        never report a miss for the page it just loaded.
+        """
+        pages = self._pages
+        while len(pages) > self.capacity and len(pages) > 1:
+            pages.popitem(last=False)
+
+    def resize(self, capacity: int) -> None:
+        """Change the buffer capacity, evicting LRU pages when shrinking.
+
+        Counters are preserved — resizing models a reconfiguration
+        mid-workload, not a restart.
+        """
+        if capacity < 1:
+            raise ValueError("buffer capacity must be at least one page")
+        self.capacity = int(capacity)
+        self._evict_over_capacity()
 
     def clear(self) -> None:
         """Drop every cached page and zero the hit/miss counters."""

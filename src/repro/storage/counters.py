@@ -1,8 +1,11 @@
-"""I/O counters for the simulated disk."""
+"""I/O counters for the simulated disk and for memory-mapped snapshots."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+#: Default OS page size used to report memory-mapped extents.
+OS_PAGE_BYTES = 4096
 
 
 @dataclass
@@ -52,3 +55,41 @@ class IOCounters:
         self.page_reads = 0
         self.block_reads = 0
         self.sort_passes = 0
+
+
+@dataclass
+class MappedPageCounters:
+    """Extent of the arrays a memory-mapped flat snapshot spans.
+
+    A ``FlatRTree`` opened with ``mmap_mode="r"`` copies nothing: the OS
+    pages array data in on demand.  These counters record how much
+    *could* be paged in — the number of arrays mapped, their total bytes
+    and the OS pages (:data:`OS_PAGE_BYTES`) they span — so benchmarks
+    and reports can put logical node accesses next to the physical
+    footprint of the index.
+    """
+
+    arrays_mapped: int = 0
+    bytes_mapped: int = 0
+    pages_mapped: int = 0
+
+    def record_mapped(self, nbytes: int, page_bytes: int = OS_PAGE_BYTES) -> None:
+        """Charge one mapped array of ``nbytes`` bytes."""
+        nbytes = int(nbytes)
+        self.arrays_mapped += 1
+        self.bytes_mapped += nbytes
+        self.pages_mapped += -(-nbytes // page_bytes)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "arrays_mapped": self.arrays_mapped,
+            "bytes_mapped": self.bytes_mapped,
+            "pages_mapped": self.pages_mapped,
+        }
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.arrays_mapped = 0
+        self.bytes_mapped = 0
+        self.pages_mapped = 0

@@ -8,7 +8,16 @@ residencies, and dynamic (insert/delete) trees.  A fixed-seed workload
 additionally pins the node/page-access counters so accounting
 regressions (e.g. a vectorised path charging differently from the
 entry-at-a-time loop it replaced) are caught immediately.
+
+Setting ``REPRO_FLAT_CONFORMANCE=memory`` (or ``mmap``) reruns the
+whole matrix — including the pinned counters — against a flat
+array-backed snapshot of the same tree (built in memory, or saved to
+``.npz`` and reopened memory-mapped): the CI ``flat-conformance`` job
+runs both modes, proving the flat traversals are bit-identical drop-in
+replacements.
 """
+
+import os
 
 import numpy as np
 import pytest
@@ -17,9 +26,15 @@ from repro.api.executor import ExecutionContext, execute_spec
 from repro.api.registry import available_algorithms
 from repro.api.spec import DISK, MEMORY, QuerySpec
 from repro.core.bruteforce import brute_force_gnn
+from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
 
 SEED = 20040101
+
+#: "" (default): object tree only.  "memory": route memory-resident
+#: specs through an in-memory flat snapshot.  "mmap": through a
+#: snapshot saved to .npz and reopened with mmap_mode="r".
+FLAT_MODE = os.environ.get("REPRO_FLAT_CONFORMANCE", "").lower()
 
 #: Simulated-disk geometry small enough that the 60-point disk group
 #: splits into multiple blocks (so F-MQM/F-MBM exercise their
@@ -42,8 +57,18 @@ def tree(dataset):
 
 
 @pytest.fixture(scope="module")
-def context(dataset, tree):
-    return ExecutionContext(tree=tree, points=dataset)
+def context(dataset, tree, tmp_path_factory):
+    if FLAT_MODE == "memory":
+        flat = FlatRTree.from_tree(tree)
+    elif FLAT_MODE == "mmap":
+        path = tmp_path_factory.mktemp("flat-conformance") / "index.npz"
+        FlatRTree.from_tree(tree).save(path)
+        flat = FlatRTree.load(path, mmap_mode="r")
+    elif FLAT_MODE == "":
+        flat = None
+    else:  # pragma: no cover - misconfiguration guard
+        raise ValueError(f"unknown REPRO_FLAT_CONFORMANCE mode {FLAT_MODE!r}")
+    return ExecutionContext(tree=tree, points=dataset, flat=flat)
 
 
 def _shared_groups():

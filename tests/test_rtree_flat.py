@@ -1,0 +1,494 @@
+"""Tests for the flat array-backed R-tree snapshot (repro.rtree.flat).
+
+The contract under test: a ``FlatRTree`` is a bit-identical drop-in for
+the object tree on every best-first path — same results, same
+node-access and distance-computation counts, same buffer hit/miss
+sequences — and round-trips losslessly through its ``.npz`` persistence
+in both eager and memory-mapped modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import QuerySpec
+from repro.core.aggregates import aggregate_gnn
+from repro.core.engine import GNNEngine
+from repro.core.mbm import mbm
+from repro.core.mqm import mqm
+from repro.core.spm import spm
+from repro.core.types import GroupQuery
+from repro.geometry import kernels
+from repro.rtree.flat import FlatRTree
+from repro.rtree.traversal import incremental_nearest
+from repro.rtree.tree import RTree
+from repro.storage.buffer import LRUBuffer
+
+ARRAY_FIELDS = (
+    "lows",
+    "highs",
+    "child_start",
+    "child_count",
+    "levels",
+    "node_ids",
+    "points",
+    "record_ids",
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return np.random.default_rng(42).uniform(0, 1000, size=(900, 2))
+
+
+@pytest.fixture(scope="module")
+def tree(dataset):
+    return RTree.bulk_load(dataset, capacity=16)
+
+
+@pytest.fixture(scope="module")
+def flat(tree):
+    return FlatRTree.from_tree(tree)
+
+
+def _costs(result):
+    return (result.cost.node_accesses, result.cost.distance_computations)
+
+
+class TestConstruction:
+    def test_shape_matches_tree(self, tree, flat):
+        assert len(flat) == len(tree)
+        assert flat.dims == tree.dims
+        assert flat.height == tree.height
+        assert flat.capacity == tree.capacity
+        assert flat.num_nodes == tree.node_count()
+
+    def test_every_point_round_trips(self, dataset, flat):
+        recovered = flat.points_by_record_id()
+        assert recovered is not None
+        assert np.array_equal(recovered, dataset)
+
+    def test_bulk_load_matches_from_tree(self, dataset, tree, flat):
+        direct = FlatRTree.bulk_load(dataset, capacity=16)
+        assert direct.num_nodes == flat.num_nodes
+        assert np.array_equal(direct.points, flat.points)
+        assert np.array_equal(direct.record_ids, flat.record_ids)
+        assert np.array_equal(direct.lows, flat.lows)
+        assert np.array_equal(direct.highs, flat.highs)
+
+    def test_bulk_load_rejects_unknown_method(self, dataset):
+        with pytest.raises(ValueError, match="unknown bulk-load method"):
+            FlatRTree.bulk_load(dataset, capacity=16, method="zorder")
+
+    def test_empty_tree_snapshot(self):
+        flat = FlatRTree.from_tree(RTree(dims=2))
+        assert len(flat) == 0
+        assert list(incremental_nearest(flat, [0.0, 0.0])) == []
+
+    def test_single_leaf_snapshot(self):
+        tree = RTree.bulk_load(np.array([[1.0, 2.0], [3.0, 4.0]]), capacity=16)
+        flat = FlatRTree.from_tree(tree)
+        stream = [n.as_tuple() for n in incremental_nearest(flat, [1.0, 2.0])]
+        assert stream == [n.as_tuple() for n in incremental_nearest(tree, [1.0, 2.0])]
+
+    def test_dynamic_tree_snapshot(self):
+        rng = np.random.default_rng(5)
+        points = rng.uniform(0, 100, size=(250, 2))
+        tree = RTree(dims=2, capacity=8)
+        for i, p in enumerate(points):
+            tree.insert(p, record_id=i)
+        flat = FlatRTree.from_tree(tree)
+        q = [50.0, 50.0]
+        assert [n.as_tuple() for n in incremental_nearest(flat, q)] == [
+            n.as_tuple() for n in incremental_nearest(tree, q)
+        ]
+
+
+class TestTraversalEquivalence:
+    """Streams and algorithms must match the object tree bit for bit."""
+
+    def test_incremental_stream_identical_with_counters(self, dataset, tree, flat):
+        tree.reset_stats()
+        flat.reset_stats()
+        q = [411.0, 290.0]
+        assert [n.as_tuple() for n in incremental_nearest(tree, q)] == [
+            n.as_tuple() for n in incremental_nearest(flat, q)
+        ]
+        assert tree.stats.snapshot() == flat.stats.snapshot()
+
+    @pytest.mark.parametrize("algorithm", [mqm, spm, mbm, aggregate_gnn])
+    def test_algorithms_bit_identical(self, dataset, tree, flat, algorithm):
+        rng = np.random.default_rng(99)
+        for n in (2, 7, 31):
+            group = rng.uniform(200, 800, size=(n, 2))
+            reference = algorithm(tree, GroupQuery(group, k=5))
+            result = algorithm(flat, GroupQuery(group, k=5))
+            assert [x.as_tuple() for x in result.neighbors] == [
+                x.as_tuple() for x in reference.neighbors
+            ]
+            assert _costs(result) == _costs(reference)
+
+    def test_weighted_mbm_falls_back_to_general_kernels(self, tree, flat):
+        rng = np.random.default_rng(3)
+        group = rng.uniform(300, 700, size=(6, 2))
+        weights = rng.uniform(0.5, 2.0, size=6)
+        reference = mbm(tree, GroupQuery(group, k=4, weights=weights))
+        result = mbm(flat, GroupQuery(group, k=4, weights=weights))
+        assert [x.as_tuple() for x in result.neighbors] == [
+            x.as_tuple() for x in reference.neighbors
+        ]
+        assert _costs(result) == _costs(reference)
+
+    @pytest.mark.parametrize("aggregate", ["max", "min"])
+    def test_aggregate_generalisations(self, tree, flat, aggregate):
+        group = np.random.default_rng(8).uniform(100, 900, size=(9, 2))
+        reference = aggregate_gnn(tree, GroupQuery(group, k=3, aggregate=aggregate))
+        result = aggregate_gnn(flat, GroupQuery(group, k=3, aggregate=aggregate))
+        assert [x.as_tuple() for x in result.neighbors] == [
+            x.as_tuple() for x in reference.neighbors
+        ]
+
+    def test_depth_first_is_rejected(self, flat):
+        group = GroupQuery([[1.0, 2.0]], k=1)
+        with pytest.raises(ValueError, match="best-first"):
+            mbm(flat, group, traversal="depth_first")
+        with pytest.raises(ValueError, match="best-first"):
+            spm(flat, group, traversal="depth_first")
+
+    def test_buffer_hit_miss_parity(self, dataset, tree):
+        group = np.random.default_rng(12).uniform(200, 800, size=(8, 2))
+        object_buffer = LRUBuffer(8)
+        object_tree = RTree.bulk_load(dataset, capacity=16, buffer=object_buffer)
+        flat_buffer = LRUBuffer(8)
+        flat_tree = FlatRTree.from_tree(object_tree, buffer=flat_buffer)
+        for _ in range(3):  # repeated queries exercise hits
+            mbm(object_tree, GroupQuery(group, k=4))
+            mbm(flat_tree, GroupQuery(group, k=4))
+        assert (object_buffer.hits, object_buffer.misses) == (
+            flat_buffer.hits,
+            flat_buffer.misses,
+        )
+
+
+class TestPersistence:
+    def test_save_load_round_trip_is_exact(self, flat, tmp_path):
+        path = tmp_path / "index.npz"
+        flat.save(path)
+        loaded = FlatRTree.load(path)
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(loaded, name), getattr(flat, name)), name
+        assert (loaded.dims, loaded.size, loaded.capacity, loaded.height) == (
+            flat.dims,
+            flat.size,
+            flat.capacity,
+            flat.height,
+        )
+
+    def test_save_respects_exact_path_without_npz_suffix(self, flat, tmp_path):
+        # np.savez silently appends ".npz" when handed a bare path;
+        # save() must write exactly where it was told so load(path)
+        # always round-trips.
+        path = tmp_path / "index-no-suffix"
+        flat.save(path)
+        assert path.exists()
+        loaded = FlatRTree.load(path)
+        assert np.array_equal(loaded.points, flat.points)
+        mapped = FlatRTree.load(path, mmap_mode="r")
+        assert np.array_equal(mapped.points, flat.points)
+
+    def test_mmap_load_is_exact_and_memory_mapped(self, flat, tmp_path):
+        path = tmp_path / "index.npz"
+        flat.save(path)
+        mapped = FlatRTree.load(path, mmap_mode="r")
+        for name in ARRAY_FIELDS:
+            assert np.array_equal(getattr(mapped, name), getattr(flat, name)), name
+        assert isinstance(mapped.points, np.memmap)
+        assert isinstance(mapped.lows, np.memmap)
+        counters = mapped.mmap_io.snapshot()
+        # only the index arrays that stay mapped are counted (not the
+        # transient "meta" header, which load() copies and discards)
+        assert counters["arrays_mapped"] == len(ARRAY_FIELDS)
+        assert counters["bytes_mapped"] >= flat.points.nbytes
+        assert counters["pages_mapped"] >= counters["bytes_mapped"] // 4096
+
+    def test_queries_over_mmap_snapshot_match(self, tree, flat, tmp_path):
+        path = tmp_path / "index.npz"
+        flat.save(path)
+        mapped = FlatRTree.load(path, mmap_mode="r")
+        group = np.random.default_rng(21).uniform(250, 750, size=(12, 2))
+        reference = mbm(tree, GroupQuery(group, k=6))
+        result = mbm(mapped, GroupQuery(group, k=6))
+        assert [x.as_tuple() for x in result.neighbors] == [
+            x.as_tuple() for x in reference.neighbors
+        ]
+        assert _costs(result) == _costs(reference)
+
+    def test_compressed_archives_cannot_be_mapped(self, flat, tmp_path):
+        path = tmp_path / "compressed.npz"
+        payload = {name: np.asarray(getattr(flat, name)) for name in ARRAY_FIELDS}
+        payload["meta"] = np.array(
+            [1, flat.dims, flat.size, flat.capacity, flat.height], dtype=np.int64
+        )
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="compressed"):
+            FlatRTree.load(path, mmap_mode="r")
+        # eager loading still works
+        assert len(FlatRTree.load(path)) == len(flat)
+
+    def test_write_mmap_modes_are_rejected(self, flat, tmp_path):
+        path = tmp_path / "index.npz"
+        flat.save(path)
+        with pytest.raises(ValueError, match="read-only"):
+            FlatRTree.load(path, mmap_mode="r+")
+
+    def test_unknown_format_version_is_rejected(self, flat, tmp_path):
+        path = tmp_path / "future.npz"
+        payload = {name: np.asarray(getattr(flat, name)) for name in ARRAY_FIELDS}
+        payload["meta"] = np.array(
+            [99, flat.dims, flat.size, flat.capacity, flat.height], dtype=np.int64
+        )
+        np.savez(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            FlatRTree.load(path)
+
+
+class TestScorer2D:
+    """The workspace kernels must be bit-identical to the general ones."""
+
+    def test_all_kernels_bit_identical(self):
+        rng = np.random.default_rng(77)
+        for trial in range(5):
+            group = rng.uniform(0, 1000, size=(rng.integers(1, 80), 2))
+            scorer = kernels.Scorer2D(group, 64)
+            points = rng.uniform(0, 1000, size=(rng.integers(1, 64), 2))
+            lows = rng.uniform(0, 900, size=(rng.integers(1, 64), 2))
+            highs = lows + rng.uniform(0, 120, size=lows.shape)
+            q = rng.uniform(0, 1000, size=2)
+            low, high = np.sort(rng.uniform(0, 1000, size=(2, 2)), axis=0)
+            pairs = [
+                (
+                    lambda: kernels.point_distances(points, q),
+                    lambda: scorer.point_distances(points, q),
+                ),
+                (
+                    lambda: kernels.points_mindist_box(points, low, high),
+                    lambda: scorer.points_mindist_box(points, low, high),
+                ),
+                (
+                    lambda: kernels.boxes_mindist_point(lows, highs, q),
+                    lambda: scorer.boxes_mindist_point(lows, highs, q),
+                ),
+                (
+                    lambda: kernels.boxes_mindist_box(lows, highs, low, high),
+                    lambda: scorer.boxes_mindist_box(lows, highs, low, high),
+                ),
+                (
+                    lambda: kernels.aggregate_distances(points, group),
+                    lambda: scorer.group_sum_distances(points),
+                ),
+                (
+                    lambda: kernels.boxes_group_mindist(lows, highs, group),
+                    lambda: scorer.boxes_group_sum_mindist(lows, highs),
+                ),
+            ]
+            for index, (reference, fast) in enumerate(pairs):
+                # scorer results are views into reused buffers, so each
+                # pair is evaluated and compared before the next call.
+                assert np.array_equal(reference(), np.array(fast())), (trial, index)
+
+    def test_scorer_for_gates_on_query_shape(self):
+        group = np.zeros((4, 2))
+        assert kernels.scorer_for(group, None, "sum", 8) is not None
+        assert kernels.scorer_for(group, np.ones(4), "sum", 8) is None
+        assert kernels.scorer_for(group, None, "max", 8) is None
+        assert kernels.scorer_for(np.zeros((4, 3)), None, "sum", 8) is None
+
+    def test_rejects_non_2d_groups(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kernels.Scorer2D(np.zeros((4, 3)), 8)
+
+
+class TestEngineIntegration:
+    @pytest.fixture()
+    def engine(self, dataset):
+        return GNNEngine(dataset, capacity=16)
+
+    def test_execute_routes_through_flat_and_matches_object(self, engine):
+        rng = np.random.default_rng(31)
+        spec = QuerySpec(group=rng.uniform(200, 800, size=(8, 2)), k=4)
+        plan = engine.explain(spec)
+        assert plan.use_flat
+        flat_result = engine.execute(spec)
+        assert engine.flat is not None  # snapshot materialised lazily
+        object_result = engine.execute(spec.replace(index="object"))
+        assert flat_result.record_ids() == object_result.record_ids()
+        assert flat_result.distances() == object_result.distances()
+        assert _costs(flat_result) == _costs(object_result)
+
+    def test_snapshot_disabled_engine_stays_on_object_tree(self, dataset):
+        engine = GNNEngine(dataset, capacity=16, snapshot=False)
+        engine.execute(QuerySpec(group=[[500.0, 500.0]], k=2))
+        assert engine.flat is None
+
+    def test_snapshot_is_not_built_for_workloads_that_never_use_it(self, dataset):
+        engine = GNNEngine(dataset, capacity=16)
+        engine.execute(QuerySpec(group=[[500.0, 500.0]], k=2, index="object"))
+        engine.execute(QuerySpec(group=[[500.0, 500.0]], k=2, algorithm="brute-force"))
+        engine.execute(
+            QuerySpec(
+                group=np.random.default_rng(1).uniform(0, 1000, size=(60, 2)),
+                residency="disk",
+                options={"points_per_page": 10, "block_pages": 2},
+            )
+        )
+        assert engine.flat is None  # lazy provider was never invoked
+
+    def test_insert_invalidates_snapshot(self, engine):
+        spec = QuerySpec(group=[[400.0, 400.0]], k=1)
+        engine.execute(spec)
+        assert engine.flat is not None
+        engine.insert([123.0, 456.0])
+        assert engine.flat is None
+        engine.execute(spec)  # rebuilt lazily
+        assert engine.flat is not None and len(engine.flat) == len(engine.points)
+
+    def test_spec_index_flat_without_snapshot_fails_actionably(self, dataset):
+        engine = GNNEngine(dataset, capacity=16, snapshot=False)
+        with pytest.raises(ValueError, match="engine.snapshot"):
+            engine.execute(QuerySpec(group=[[1.0, 1.0]], k=1, index="flat"))
+
+    def test_plan_time_flat_rejections(self, engine):
+        group = [[1.0, 1.0], [2.0, 2.0]]
+        with pytest.raises(ValueError, match="depth-first"):
+            engine.explain(
+                QuerySpec(
+                    group=group,
+                    algorithm="mbm",
+                    index="flat",
+                    options={"traversal": "depth_first"},
+                )
+            )
+        with pytest.raises(ValueError, match="disk-resident"):
+            engine.explain(
+                QuerySpec(
+                    group=group,
+                    residency="disk",
+                    index="flat",
+                    options={"points_per_page": 10, "block_pages": 2},
+                )
+            )
+
+    def test_unknown_index_preference_rejected(self):
+        with pytest.raises(ValueError, match="index preference"):
+            QuerySpec(group=[[0.0, 0.0]], index="quantum")
+
+    def test_from_index_round_trip(self, engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        engine.snapshot().save(path)
+        readonly = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        assert readonly.points is None  # nothing copied up front
+        rng = np.random.default_rng(55)
+        spec = QuerySpec(group=rng.uniform(300, 700, size=(5, 2)), k=3)
+        assert readonly.execute(spec).record_ids() == engine.execute(spec).record_ids()
+        assert len(readonly) == len(engine)
+        assert readonly.explain(spec).estimate is not None
+
+    def test_from_index_brute_force_reconstructs_lazily(self, engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        engine.snapshot().save(path)
+        readonly = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        rng = np.random.default_rng(56)
+        spec = QuerySpec(group=rng.uniform(300, 700, size=(4, 2)), k=3, algorithm="brute-force")
+        assert readonly.execute(spec).record_ids() == engine.execute(spec).record_ids()
+
+    def test_from_index_is_read_only(self, engine, tmp_path):
+        path = tmp_path / "engine.npz"
+        engine.snapshot().save(path)
+        readonly = GNNEngine.from_index(FlatRTree.load(path))
+        with pytest.raises(ValueError, match="read-only"):
+            readonly.insert([1.0, 2.0])
+        with pytest.raises(ValueError, match="disk-resident"):
+            readonly.execute(
+                QuerySpec(
+                    group=np.zeros((60, 2)),
+                    residency="disk",
+                    options={"points_per_page": 10, "block_pages": 2},
+                )
+            )
+
+    def test_from_index_rejects_non_snapshots(self, tree):
+        with pytest.raises(TypeError, match="FlatRTree"):
+            GNNEngine.from_index(tree)
+
+    def test_execute_many_uses_flat_and_matches(self, engine):
+        rng = np.random.default_rng(60)
+        specs = [QuerySpec(group=rng.uniform(200, 800, size=(6, 2)), k=3) for _ in range(8)]
+        batch = engine.execute_many(specs)
+        singles = [engine.execute(spec) for spec in specs]
+        assert [r.record_ids() for r in batch] == [r.record_ids() for r in singles]
+        assert [r.distances() for r in batch] == [r.distances() for r in singles]
+
+
+class TestDeprecatedShims:
+    """The pre-planner entry points: still working, loudly deprecated."""
+
+    @pytest.fixture()
+    def engine(self, dataset):
+        return GNNEngine(dataset, capacity=16)
+
+    def test_query_emits_exactly_one_deprecation_warning(self, engine):
+        with pytest.warns(DeprecationWarning, match="GNNEngine.execute") as captured:
+            engine.query([[500.0, 500.0]], k=2)
+        assert len(captured) == 1
+
+    def test_query_matches_spec_path_for_every_algorithm(self, engine):
+        rng = np.random.default_rng(71)
+        group = rng.uniform(250, 750, size=(6, 2))
+        for algorithm in ("auto", "mqm", "spm", "mbm", "best-first", "brute-force"):
+            with pytest.warns(DeprecationWarning):
+                legacy = engine.query(group, k=3, algorithm=algorithm)
+            modern = engine.execute(QuerySpec(group=group, k=3, algorithm=algorithm))
+            assert legacy.record_ids() == modern.record_ids(), algorithm
+            assert legacy.distances() == modern.distances(), algorithm
+
+    def test_query_forwards_aggregate_weights_and_options(self, engine):
+        rng = np.random.default_rng(72)
+        group = rng.uniform(250, 750, size=(5, 2))
+        weights = rng.uniform(0.5, 2.0, size=5)
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.query(group, k=2, aggregate="max", weights=weights)
+        modern = engine.execute(
+            QuerySpec(group=group, k=2, aggregate="max", weights=weights)
+        )
+        assert legacy.record_ids() == modern.record_ids()
+        with pytest.warns(DeprecationWarning):
+            legacy_options = engine.query(
+                group, k=2, algorithm="spm", traversal="depth_first"
+            )
+        assert "depth_first" in legacy_options.cost.algorithm
+
+    def test_query_disk_emits_exactly_one_deprecation_warning(self, engine):
+        rng = np.random.default_rng(73)
+        queries = rng.uniform(300, 700, size=(80, 2))
+        with pytest.warns(DeprecationWarning, match="residency='disk'") as captured:
+            engine.query_disk(queries, k=2, points_per_page=10, block_pages=2)
+        assert len(captured) == 1
+
+    def test_query_disk_matches_spec_path(self, engine):
+        rng = np.random.default_rng(74)
+        queries = rng.uniform(300, 700, size=(90, 2))
+        for algorithm in ("auto", "fmqm", "fmbm"):
+            with pytest.warns(DeprecationWarning):
+                legacy = engine.query_disk(
+                    queries, k=2, algorithm=algorithm, points_per_page=10, block_pages=2
+                )
+            modern = engine.execute(
+                QuerySpec(
+                    group=queries,
+                    k=2,
+                    residency="disk",
+                    algorithm=algorithm,
+                    options={"points_per_page": 10, "block_pages": 2},
+                )
+            )
+            assert legacy.record_ids() == modern.record_ids(), algorithm
+            assert legacy.distances() == modern.distances(), algorithm
