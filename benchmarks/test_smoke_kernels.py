@@ -13,6 +13,7 @@ import time
 import numpy as np
 
 from repro.core.mbm import mbm
+from repro.core.mqm import mqm
 from repro.core.spm import spm
 from repro.core.types import GroupQuery
 from repro.datasets.workload import WorkloadSpec, generate_workload
@@ -119,12 +120,17 @@ def test_smoke_traversal_stream_tuples(benchmark):
 
 
 def test_smoke_flat_snapshot_speedup(benchmark, datasets, scale):
-    """Flat SPM/MBM must stay well ahead of the object tree (fig-5.1, n=64).
+    """Flat MQM/SPM/MBM must stay well ahead of the object tree (fig-5.1, n=64).
 
     The answers and counters must also match exactly — a fast wrong
     answer is a bug, not a speedup.  The measured ratios are recorded in
     ``benchmark.extra_info`` (and, on the reference machine, in
-    ``BENCH_quick.json`` / the README performance table).
+    ``BENCH_quick.json`` / the README performance table).  MQM is
+    guarded here like the single-traversal algorithms: its multi-stream
+    flat engine replaced the per-query-point generator streams, and a
+    regression back to object-tree speed must fail loudly (the 0.95x
+    regression that motivated the engine shipped silently because only
+    SPM/MBM were guarded).
     """
     points, tree = datasets["pp"]
     flat = FlatRTree.from_tree(tree)
@@ -140,7 +146,7 @@ def test_smoke_flat_snapshot_speedup(benchmark, datasets, scale):
         return _best_of(3, lambda: run(algorithm, index))
 
     benchmark.pedantic(lambda: run(mbm, flat), rounds=1, iterations=1)
-    for name, algorithm in (("SPM", spm), ("MBM", mbm)):
+    for name, algorithm in (("MQM", mqm), ("SPM", spm), ("MBM", mbm)):
         for group in groups:
             object_result = algorithm(tree, GroupQuery(group, k=spec.k))
             flat_result = algorithm(flat, GroupQuery(group, k=spec.k))

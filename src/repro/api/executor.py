@@ -13,11 +13,25 @@ queries:
   requests from memory (results are returned in input order regardless);
 * **vectorised scans** — specs planned to the brute-force baseline are
   evaluated through a single chunked ``(groups, N, n)`` distance tensor
-  instead of one dataset pass per query.
+  instead of one dataset pass per query;
+* **shared traversals** — flat-index MBM specs are bucketed by
+  ``(cardinality, k, heuristics)``, Hilbert-ordered, and answered by
+  :func:`repro.core.mbm.mbm_batch`: *one* best-first traversal of the
+  lazily-built snapshot serves the whole bucket, scoring each visited
+  node for every still-active query in a single ``(B, fanout)`` (or
+  ``(B, m)``) kernel call and pruning per query with Heuristics 2/3 —
+  so a bucket pays the traversal once instead of ``B`` times.  The
+  snapshot itself is materialised at most once per batch.
 
 Batching never changes answers: every fast path reproduces the exact
 arithmetic of the per-query route, which ``execute_many`` equivalence
-tests pin down.
+tests pin down.  Two deliberate caveats on the shared paths, both
+matching the batched brute-force precedent: an *exact* tie in the k-th
+distance may resolve to a different, equally distant record (the batch
+picks the smallest record ids, the per-query traversal keeps the first
+one it met), and cost reporting is bucket-level — shared-traversal
+results carry the counters of the one traversal under the
+``MBM-batch`` label rather than per-query fictions.
 """
 
 from __future__ import annotations
@@ -35,6 +49,7 @@ from repro.api.planner import (
     QueryPlanner,
 )
 from repro.api.spec import MEMORY, QuerySpec
+from repro.core.mbm import mbm_batch
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_indices
@@ -46,6 +61,18 @@ from repro.storage.pointfile import PointFile
 #: Upper bound on the number of float64 elements a brute-force batch
 #: chunk may allocate (the (g, N, n, dims) difference tensor).
 BATCH_TENSOR_ELEMENT_CAP = 8_000_000
+
+#: Upper bound on the elements of one shared-traversal leaf tensor (the
+#: (B, fanout, n, dims) difference tensor scored per leaf); buckets are
+#: chunked so B stays below it.
+SHARED_BUCKET_ELEMENT_CAP = 8_000_000
+
+#: Upper bound on the members of one shared traversal.  Buckets are
+#: Hilbert-ordered before chunking, so each chunk covers a spatially
+#: tight neighborhood: a shared traversal expands the *union* of its
+#: members' search regions, and capping the chunk keeps that union —
+#: and with it the per-member overhead on scattered workloads — small.
+SHARED_BUCKET_MAX_MEMBERS = 32
 
 
 @dataclass
@@ -165,14 +192,114 @@ def execute_batch(
         results[index] = result
 
     remaining = [i for i in range(len(specs)) if results[i] is None]
+
+    # Materialise the flat snapshot at most once for the whole batch:
+    # every flat-capable plan shares it for the batch's duration, so an
+    # engine-side invalidation (e.g. an insert between batches) can
+    # never trigger repeated lazy rebuilds inside one call.
+    flat = None
+    if any(plans[i].use_flat for i in remaining):
+        flat = context.get_flat()
+    if flat is not None:
+        shared_indices = [
+            i for i in remaining if _shared_traversal_eligible(specs[i], plans[i])
+        ]
+        for index, result in _shared_traversal_mbm(flat, specs, plans, shared_indices):
+            if specs[index].trace:
+                result.plan = plans[index]
+            results[index] = result
+        remaining = [i for i in range(len(specs)) if results[i] is None]
+
     for index in _locality_order(specs, plans, remaining):
         results[index] = execute_spec(context, specs[index], plan=plans[index])
     return results  # type: ignore[return-value]
 
 
 # ----------------------------------------------------------------------
+# shared-traversal batches (flat MBM)
+# ----------------------------------------------------------------------
+def _shared_traversal_eligible(spec: QuerySpec, plan: QueryPlan) -> bool:
+    """Whether a spec can join a shared-traversal MBM bucket.
+
+    The shared traversal specialises the paper's setting — best-first
+    MBM over an unweighted sum group held in memory — which is exactly
+    what the auto policy plans for such specs.  Everything else stays on
+    the per-query path (with identical answers either way).
+    """
+    return (
+        plan.use_flat
+        and plan.algorithm.name == "mbm"
+        and spec.group is not None
+        and spec.weights is None
+        and spec.aggregate == kernels.SUM
+    )
+
+
+def _shared_traversal_mbm(
+    flat: FlatRTree, specs: Sequence[QuerySpec], plans: Sequence[QueryPlan], indices: list[int]
+):
+    """Answer flat-MBM specs through shared bucket traversals.
+
+    Specs are bucketed by ``(cardinality, k, use_heuristic3)`` — the
+    stacking dimensions of :func:`repro.core.mbm.mbm_batch` — and each
+    bucket runs in Hilbert order of the group centroids, so one
+    traversal's node visits serve spatially coherent queries.  Buckets
+    are chunked to bound the ``(B, fanout, n)`` leaf scoring tensors.
+    Single-spec buckets stay on the per-query path (a batch of one
+    amortises nothing).
+    """
+    if len(indices) < 2:
+        return
+    buckets: dict[tuple, list[int]] = {}
+    for i in indices:
+        key = (
+            specs[i].cardinality,
+            specs[i].k,
+            bool(plans[i].options.get("use_heuristic3", True)),
+        )
+        buckets.setdefault(key, []).append(i)
+    dims = flat.dims
+    for (cardinality, k, use_heuristic3), bucket in buckets.items():
+        if len(bucket) < 2:
+            continue
+        chunk = min(
+            SHARED_BUCKET_MAX_MEMBERS,
+            SHARED_BUCKET_ELEMENT_CAP // max(1, flat.capacity * cardinality * dims),
+        )
+        if chunk < 2:
+            continue  # groups too large to stack; per-query path handles them
+        bucket = _hilbert_order(specs, bucket)
+        for start in range(0, len(bucket), chunk):
+            members = bucket[start : start + chunk]
+            if len(members) < 2:
+                continue  # leftover singleton: the per-query path is cheaper
+            outcomes = mbm_batch(
+                flat,
+                np.stack([specs[i].group for i in members]),
+                k,
+                use_heuristic3=use_heuristic3,
+            )
+            yield from zip(members, outcomes)
+
+
+# ----------------------------------------------------------------------
 # locality scheduling
 # ----------------------------------------------------------------------
+def _hilbert_order(specs: Sequence[QuerySpec], indices: list[int]) -> list[int]:
+    """``indices`` reordered along the Hilbert curve of the group centroids.
+
+    The curve is only defined for 2-D groups; other dimensionalities
+    keep their input order.
+    """
+    if len(indices) < 2:
+        return indices
+    centroids = np.vstack([specs[i].group.mean(axis=0) for i in indices])
+    if centroids.shape[1] != 2:
+        return indices
+    keys = hilbert_indices(centroids)
+    return [indices[j] for j in np.argsort(keys, kind="stable")]
+
+
 def _locality_order(
     specs: Sequence[QuerySpec], plans: Sequence[QueryPlan], indices: list[int]
 ) -> list[int]:
@@ -188,12 +315,7 @@ def _locality_order(
     ]
     memory_set = set(memory)
     other = [i for i in indices if i not in memory_set]
-    if len(memory) > 1:
-        centroids = np.vstack([specs[i].group.mean(axis=0) for i in memory])
-        if centroids.shape[1] == 2:
-            keys = hilbert_indices(centroids)
-            memory = [memory[j] for j in np.argsort(keys, kind="stable")]
-    return memory + other
+    return _hilbert_order(specs, memory) + other
 
 
 # ----------------------------------------------------------------------

@@ -21,7 +21,9 @@ import argparse
 import sys
 import time
 
-from repro.bench.baseline import DEFAULT_OUTPUT, write_baseline
+import json
+
+from repro.bench.baseline import DEFAULT_OUTPUT, compare_baseline, write_baseline
 from repro.bench.config import available_scales, get_scale
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.report import format_table, results_to_markdown
@@ -65,6 +67,17 @@ def _parser() -> argparse.ArgumentParser:
         default=DEFAULT_OUTPUT,
         help=f"where --quick writes its JSON (default: {DEFAULT_OUTPUT})",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "with --quick: after measuring, compare the speedup ratios "
+            "against this committed baseline JSON and exit non-zero when "
+            "any falls below 90%% of its committed value (the CI "
+            "bench-baseline regression gate)"
+        ),
+    )
     return parser
 
 
@@ -86,7 +99,27 @@ def main(argv=None) -> int:
                 f"  {name:6s} {row['ms_per_query']:8.2f} ms/query   "
                 f"{row['node_accesses']} node accesses, {row['page_reads']} page reads"
             )
+        batch = document["batch_flat"]
+        print(
+            f"  batch  execute {batch['execute_ms_per_query']:8.2f} ms/query   "
+            f"execute_many {batch['execute_many_ms_per_query']:8.2f} ms/query   "
+            f"speedup {batch['batch_speedup']:.2f}x "
+            f"(B={batch['setting']['batch_size']})"
+        )
+        if args.compare is not None:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                reference = json.load(handle)
+            failures = compare_baseline(document, reference)
+            if failures:
+                print(f"Speedup regression vs {args.compare}:", file=sys.stderr)
+                for failure in failures:
+                    print(f"  {failure}", file=sys.stderr)
+                return 1
+            print(f"Speedups hold against {args.compare}")
         return 0
+    if args.compare is not None:
+        print("--compare requires --quick", file=sys.stderr)
+        return 2
     if args.list or args.experiment is None:
         print("Available experiments:")
         for name in sorted(EXPERIMENTS):

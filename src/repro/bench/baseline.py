@@ -12,10 +12,16 @@ trajectory point (and CI archives one per run):
   worse than no number.
 * **one disk config** — F-MQM and F-MBM over a Hilbert-sorted query
   file split into multiple blocks.
+* **batch serving** — a batch of 64 meeting-sized groups answered
+  through ``engine.execute_many`` (the shared-traversal path over the
+  flat snapshot) versus one ``engine.execute`` per spec, answers
+  verified identical before timing.
 
 Wall-clock entries are medians of per-query means across repeats;
 counter entries are medians across the workload's queries.  Numbers are
-machine-dependent; the ``speedup`` ratios are the portable signal.
+machine-dependent; the ``speedup`` ratios are the portable signal —
+:func:`compare_baseline` (the ``--compare`` CLI mode) turns them into a
+regression gate against the committed file.
 """
 
 from __future__ import annotations
@@ -25,6 +31,8 @@ import platform
 import statistics
 import time
 
+from repro.api.spec import QuerySpec
+from repro.core.engine import GNNEngine
 from repro.core.fmbm import fmbm
 from repro.core.fmqm import fmqm
 from repro.core.mbm import mbm
@@ -38,7 +46,7 @@ from repro.rtree.tree import RTree
 from repro.storage.pointfile import PointFile
 
 #: Schema version of the emitted JSON (bump on layout changes).
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default output filename (also the CI artifact name).
 DEFAULT_OUTPUT = "BENCH_quick.json"
@@ -56,6 +64,16 @@ DISK_QUERY_POINTS = 500
 DISK_POINTS_PER_PAGE = 50
 DISK_BLOCK_PAGES = 2
 DISK_K = 8
+
+#: Batch-serving config: 64 meeting-sized groups (the "where should the
+#: n of us meet" workload) answered in one execute_many call.
+BATCH_SIZE = 64
+BATCH_CARDINALITY = 8
+BATCH_K = 8
+
+#: Regression floor of the --compare gate: a freshly measured speedup
+#: may not fall below this fraction of the committed value.
+COMPARE_FLOOR_RATIO = 0.9
 
 MEMORY_ALGORITHMS = (("MQM", mqm), ("SPM", spm), ("MBM", mbm))
 DISK_ALGORITHMS = (("F-MQM", fmqm), ("F-MBM", fmbm))
@@ -184,8 +202,55 @@ def _disk_baseline(repeats: int) -> dict:
     }
 
 
+def _batch_baseline(repeats: int) -> dict:
+    """Throughput of ``execute_many`` vs per-query ``execute`` at B=64."""
+    data = pp_like(FIG51_DATASET_SIZE)
+    engine = GNNEngine(data, capacity=50)
+    workload = generate_workload(
+        data,
+        WorkloadSpec(
+            n=BATCH_CARDINALITY,
+            mbr_fraction=FIG51_MBR_FRACTION,
+            k=BATCH_K,
+            queries=BATCH_SIZE,
+        ),
+        seed=FIG51_SEED,
+    )
+    specs = [QuerySpec(group=group, k=BATCH_K) for group in workload]
+
+    single_results = [engine.execute(spec) for spec in specs]
+    batch_results = engine.execute_many(specs)
+    for single, batched in zip(single_results, batch_results):
+        if [n.as_tuple() for n in single.neighbors] != [n.as_tuple() for n in batched.neighbors]:
+            raise AssertionError("execute_many answers differ from per-query execute")
+
+    def run_single():
+        for spec in specs:
+            engine.execute(spec)
+        return len(specs)
+
+    def run_batch():
+        engine.execute_many(specs)
+        return len(specs)
+
+    single_ms = _median_runtime(run_single, repeats) * 1000.0
+    batch_ms = _median_runtime(run_batch, repeats) * 1000.0
+    return {
+        "setting": {
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "batch_size": BATCH_SIZE,
+            "n": BATCH_CARDINALITY,
+            "mbr_fraction": FIG51_MBR_FRACTION,
+            "k": BATCH_K,
+        },
+        "execute_ms_per_query": round(single_ms, 4),
+        "execute_many_ms_per_query": round(batch_ms, 4),
+        "batch_speedup": round(single_ms / batch_ms, 2),
+    }
+
+
 def quick_baseline(repeats: int = 5) -> dict:
-    """Measure both configurations and return the baseline document."""
+    """Measure all configurations and return the baseline document."""
     return {
         "schema": SCHEMA_VERSION,
         "platform": {
@@ -194,7 +259,52 @@ def quick_baseline(repeats: int = 5) -> dict:
         },
         "memory_fig5_1": _memory_baseline(repeats),
         "disk": _disk_baseline(repeats),
+        "batch_flat": _batch_baseline(repeats),
     }
+
+
+def collect_speedups(document: dict) -> dict[str, float]:
+    """The portable speedup ratios of a baseline document, flattened.
+
+    Returns ``{"flat_speedup/MQM": 3.2, ..., "batch_speedup": 4.4}`` —
+    the machine-independent signals :func:`compare_baseline` gates on.
+    """
+    speedups: dict[str, float] = {}
+    memory = document.get("memory_fig5_1", {}).get("algorithms", {})
+    for name, row in sorted(memory.items()):
+        if "flat_speedup" in row:
+            speedups[f"flat_speedup/{name}"] = float(row["flat_speedup"])
+    batch = document.get("batch_flat", {})
+    if "batch_speedup" in batch:
+        speedups["batch_speedup"] = float(batch["batch_speedup"])
+    return speedups
+
+
+def compare_baseline(
+    current: dict, reference: dict, floor_ratio: float = COMPARE_FLOOR_RATIO
+) -> list[str]:
+    """Regression check of ``current`` speedups against a committed baseline.
+
+    Returns a list of human-readable failures: one entry per speedup
+    that fell below ``floor_ratio`` times the committed value, plus one
+    per committed speedup that the current document no longer reports.
+    An empty list means the gate passes.
+    """
+    current_speedups = collect_speedups(current)
+    reference_speedups = collect_speedups(reference)
+    failures = []
+    for name, committed in sorted(reference_speedups.items()):
+        measured = current_speedups.get(name)
+        if measured is None:
+            failures.append(f"{name}: missing from the current measurement")
+            continue
+        floor = committed * floor_ratio
+        if measured < floor:
+            failures.append(
+                f"{name}: measured {measured:.2f}x < floor {floor:.2f}x "
+                f"({floor_ratio:.0%} of committed {committed:.2f}x)"
+            )
+    return failures
 
 
 def write_baseline(path: str = DEFAULT_OUTPUT, repeats: int = 5) -> dict:

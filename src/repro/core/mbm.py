@@ -31,7 +31,7 @@ from repro.core.heuristics import (
     heuristic3_prunes_precomputed,
 )
 from repro.core.instrumentation import CostTracker
-from repro.core.types import BestList, GNNResult, GroupQuery
+from repro.core.types import BestList, GNNResult, GroupNeighbor, GroupQuery, QueryCost
 from repro.geometry import kernels
 from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
@@ -317,3 +317,178 @@ def _process_leaf(tree, node, query, best, divisor) -> None:
         entry = node.entries[index]
         tree.stats.record_distance_computations(query.cardinality)
         best.offer(entry.record_id, entry.point, float(distances[position]))
+
+
+# ----------------------------------------------------------------------
+# shared-traversal batches
+# ----------------------------------------------------------------------
+def mbm_batch(
+    flat: FlatRTree, groups: np.ndarray, k: int, use_heuristic3: bool = True
+) -> list[GNNResult]:
+    """Answer ``B`` unweighted sum-MBM queries with one shared traversal.
+
+    ``groups`` is a ``(B, n, dims)`` stack of query groups (equal
+    cardinality is the stacking requirement; the batch executor buckets
+    specs accordingly).  The snapshot is traversed *once* for the whole
+    batch: every node is read at most one time, its child slice (or leaf
+    slice) is scored against all still-active queries in a single
+    ``(B, m)`` / ``(B, fanout)`` kernel call, and per-query top-``k``
+    state is maintained as ``(B, k)`` arrays.  Heuristics 2 and 3 prune
+    per query exactly as in :func:`mbm` — a node is expanded while *any*
+    query still needs it — so every returned answer is exact.
+
+    Aggregate distances come from the same bit-identical kernels the
+    per-query path uses, so returned distances equal per-query
+    :func:`mbm` distances float for float.  Exact *ties* in the k-th
+    distance at the selection boundary are resolved canonically — the
+    tied slots go to the smallest record ids — whereas the per-query
+    path keeps the first record its traversal encountered; on such ties
+    (and only there, as with the executor's batched brute-force scan)
+    the two paths may return different, equally distant records.
+    Record ids are assumed unique (engine snapshots index by row).
+
+    Cost reporting follows the shared execution: every result carries
+    the *bucket-level* node-access and distance-computation counters of
+    the one traversal (``algorithm="MBM-batch"``), with the wall-clock
+    split evenly — per-query counters would be fiction here, since the
+    whole point is that the batch does not pay per-query traversal
+    costs.
+    """
+    groups = np.ascontiguousarray(np.asarray(groups, dtype=np.float64))
+    if groups.ndim != 3:
+        raise ValueError(f"expected stacked (B, n, dims) groups, got shape {groups.shape}")
+    batch, cardinality, dims = groups.shape
+    if dims != flat.dims:
+        raise ValueError(f"groups have dimensionality {dims}, the snapshot {flat.dims}")
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    tracker = CostTracker("MBM-batch", trees=[flat])
+    if len(flat) == 0:
+        cost = tracker.finish()
+        # One QueryCost per result — results must never share a
+        # mutable cost object.
+        return [
+            GNNResult(neighbors=[], cost=QueryCost(**cost.as_dict())) for _ in range(batch)
+        ]
+
+    # Bit-identical to MBR.from_points on each group (same min/max).
+    query_lows = groups.min(axis=1)
+    query_highs = groups.max(axis=1)
+    divisor = float(cardinality)
+    use_2d = dims == 2
+    stats = flat.stats
+    points = flat.points
+    record_ids = flat.record_ids
+
+    top_dists = np.full((batch, k), np.inf)
+    top_rows = np.full((batch, k), -1, dtype=np.int64)
+    best_dist = np.full(batch, np.inf)
+
+    counter = itertools.count()
+    root_vec = kernels.boxes_mindist_boxes(
+        flat.lows[0:1], flat.highs[0:1], query_lows, query_highs
+    )[:, 0]
+    heap: list[tuple] = [(float(root_vec.min()), next(counter), 0, root_vec)]
+
+    while heap:
+        _, _, node_id, mindist_vec = heapq.heappop(heap)
+        # Heuristic 2 per query; thresholds only shrink, so a query
+        # pruned at push time stays pruned here.
+        active = mindist_vec < best_dist / divisor
+        if not active.any():
+            continue
+        index = flat.read_node(node_id)
+        start = int(flat.child_start[index])
+        count = int(flat.child_count[index])
+        stop = start + count
+        if flat.levels[index] == 0:
+            members = np.flatnonzero(active)
+            coords = points[start:stop]
+            subset = groups[members]
+            if use_2d:
+                distances = kernels.groups_aggregate_distances_2d(coords, subset)
+            else:
+                distances = kernels.batched_aggregate_distances(coords, subset)
+            stats.record_distance_computations(cardinality * count * members.size)
+            rows = np.arange(start, stop, dtype=np.int64)
+            merged_dists = np.concatenate((top_dists[members], distances), axis=1)
+            merged_rows = np.concatenate(
+                (top_rows[members], np.broadcast_to(rows, (members.size, count))), axis=1
+            )
+            keep = np.argpartition(merged_dists, k - 1, axis=1)[:, :k]
+            gather = np.arange(members.size)[:, None]
+            kept_dists = merged_dists[gather, keep]
+            kept_rows = merged_rows[gather, keep]
+            kth = kept_dists.max(axis=1)
+            # Boundary-tie canonicalisation: argpartition picks an
+            # arbitrary subset of candidates tied at the k-th distance;
+            # re-resolve those (rare) members so the tied slots go to
+            # the smallest record ids — a deterministic, canonical rule.
+            finite = np.isfinite(kth)
+            tied_members = np.flatnonzero(
+                finite
+                & (
+                    (merged_dists == kth[:, None]).sum(axis=1)
+                    > (kept_dists == kth[:, None]).sum(axis=1)
+                )
+            )
+            for member in tied_members.tolist():
+                threshold = kth[member]
+                below = merged_dists[member] < threshold
+                tied = np.flatnonzero(merged_dists[member] == threshold)
+                needed = k - int(below.sum())
+                order = np.argsort(record_ids[merged_rows[member][tied]], kind="stable")
+                chosen = tied[order[:needed]]
+                kept_dists[member] = np.concatenate(
+                    (merged_dists[member][below], merged_dists[member][chosen])
+                )
+                kept_rows[member] = np.concatenate(
+                    (merged_rows[member][below], merged_rows[member][chosen])
+                )
+            top_dists[members] = kept_dists
+            top_rows[members] = kept_rows
+            best_dist[members] = kth
+            continue
+        lows = flat.lows[start:stop]
+        highs = flat.highs[start:stop]
+        child_mindists = kernels.boxes_mindist_boxes(lows, highs, query_lows, query_highs)
+        stats.record_distance_computations(count * batch)
+        # A query only continues below this node if it reached it
+        # (``active``) and the child survives its Heuristics 2/3 — the
+        # same per-query pruning the solo traversal applies.
+        survives = child_mindists < (best_dist / divisor)[:, None]
+        survives &= active[:, None]
+        if use_heuristic3:
+            members = np.flatnonzero(survives.any(axis=1))
+            if members.size:
+                if use_2d:
+                    bounds = kernels.boxes_groups_mindist_2d(lows, highs, groups[members])
+                else:
+                    bounds = kernels.boxes_groups_mindist(lows, highs, groups[members])
+                stats.record_distance_computations(cardinality * count * members.size)
+                survives[members] &= bounds < best_dist[members][:, None]
+        # Children are pushed with per-query mindists masked to +inf for
+        # the queries pruned here, so every later ``active`` check
+        # inherits the upstream Heuristic-2/3 decisions per query.
+        for offset in np.flatnonzero(survives.any(axis=0)).tolist():
+            child_vec = np.where(survives[:, offset], child_mindists[:, offset], np.inf)
+            heapq.heappush(
+                heap, (float(child_vec.min()), next(counter), start + offset, child_vec)
+            )
+
+    cost = tracker.finish()
+    cost.cpu_time /= batch
+    results = []
+    for member in range(batch):
+        valid = np.flatnonzero(top_rows[member] >= 0)
+        rows = top_rows[member][valid]
+        dists = top_dists[member][valid]
+        # Ascending (distance, record id) — BestList.neighbors() order.
+        order = np.lexsort((record_ids[rows], dists))
+        neighbors = [
+            GroupNeighbor(int(record_ids[row]), points[row], float(dist))
+            for row, dist in zip(rows[order].tolist(), dists[order].tolist())
+        ]
+        member_cost = QueryCost(**cost.as_dict())
+        results.append(GNNResult(neighbors=neighbors, cost=member_cost))
+    return results

@@ -11,6 +11,22 @@ point not yet encountered, so the algorithm can stop as soon as
 Query points are visited round-robin after being sorted by Hilbert value
 so that consecutive NN searches touch nearby R-tree nodes (improving
 buffer locality, as discussed in the paper's experiments).
+
+Two implementations share that driver logic:
+
+* the **object path** runs ``n`` independent
+  :func:`~repro.rtree.traversal.incremental_nearest` generators — the
+  reference implementation, kept verbatim;
+* the **flat path** (:class:`~repro.rtree.flat.FlatRTree`) drives all
+  ``n`` frontiers through one
+  :class:`~repro.rtree.traversal.MultiStreamFrontier`: per-query-point
+  state lives in struct-of-arrays form, each visited node is scored for
+  *all* streams in a single ``(n, fanout)`` kernel call, and the exact
+  aggregate distance of every emitted neighbor falls out of the same
+  shared matrix.  Results, node-access and distance-computation
+  counters, and any attached LRU buffer's hit/miss sequence are
+  bit-identical to the object path; only the Python overhead per
+  retrieval changes.
 """
 
 from __future__ import annotations
@@ -19,8 +35,12 @@ from repro.geometry.hilbert import hilbert_sort
 from repro.core.instrumentation import CostTracker
 from repro.core.types import BestList, GNNResult, GroupQuery
 from repro.rtree.flat import FlatRTree
-from repro.rtree.traversal import incremental_nearest
+from repro.rtree.traversal import MultiStreamFrontier, incremental_nearest
 from repro.rtree.tree import RTree
+
+#: One unit in the last place of a float64 near 1.0, doubled for slack.
+#: Used by the flat driver's threshold-sum screen (see ``_mqm_flat``).
+_TWO_ULP = 4.5e-16
 
 
 def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
@@ -31,8 +51,8 @@ def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
     tree:
         R-tree over the dataset ``P``; a flat snapshot
         (:class:`~repro.rtree.flat.FlatRTree`) is accepted and the
-        per-query-point incremental streams then run entirely over its
-        arrays, with identical results and accounting.
+        per-query-point streams then run as one vectorized multi-stream
+        frontier over its arrays, with identical results and accounting.
     query:
         The query group; ``query.aggregate`` must be ``"sum"`` — the
         threshold argument relies on the additivity of the aggregate
@@ -48,6 +68,15 @@ def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
     if len(tree) == 0:
         return GNNResult(neighbors=[], cost=tracker.finish())
 
+    if isinstance(tree, FlatRTree):
+        _mqm_flat(tree, query, best)
+    else:
+        _mqm_object(tree, query, best)
+    return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
+
+
+def _mqm_object(tree: RTree, query: GroupQuery, best: BestList) -> None:
+    """The generator-per-stream reference implementation (object tree)."""
     # Sort query points by Hilbert value for locality of node accesses.
     order = hilbert_sort(query.points)
     query_points = query.points[order]
@@ -89,4 +118,102 @@ def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
         if not progressed:
             break
 
-    return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
+
+def _mqm_flat(flat: FlatRTree, query: GroupQuery, best: BestList) -> None:
+    """Multi-stream MQM over a flat snapshot.
+
+    One :class:`MultiStreamFrontier` replaces the ``n`` generators; the
+    round-robin driver below otherwise replays :func:`_mqm_object`
+    decision for decision.  Two reference-path operations are elided
+    because they are provably without effect and their cost is exactly
+    what this path removes:
+
+    * re-``offer``\\ ing an already-seen record id never changes the
+      best list (``BestList.offer`` rejects members, and an evicted
+      member's distance can never beat the shrunken ``best_dist``), so
+      only first-seen records are offered;
+    * the per-record ``distance_to_canonical`` call is replaced by the
+      frontier's shared per-leaf aggregate (bit-identical floats), and
+      the ``n``-per-new-record distance-computation charges are summed
+      into one batched charge with the same total.
+
+    The termination decision is bit-identical to the reference path's
+    ``sum(thresholds) >= best_dist`` after every retrieval, but the
+    left-to-right sum itself is usually *screened away*: the driver
+    maintains an incremental total whose distance from the exact sum is
+    provably below ``slack * (total + best_dist + 1)`` (the incremental
+    float drifts at most two ulp per update and the exact sum at most
+    one ulp per element, so ``slack`` grows by ``2 ulp`` per retrieval
+    from an initial ``(n + 4) ulp``).  While the screened total plus
+    that error bound stays below ``best_dist``, the exact sum cannot
+    reach it either and is skipped; inside the guard band the exact sum
+    is computed and compared, so the break happens at the identical
+    retrieval.
+    """
+    order = hilbert_sort(query.points)
+    n = query.cardinality
+    frontier = MultiStreamFrontier(flat, query.points)
+    # Stream s of the round-robin is the frontier of original query
+    # point order[s]; the frontier indexes by original position so the
+    # shared aggregate sums query points in canonical order.
+    stream_of = order.tolist()
+    advance = frontier.advance
+    segs = frontier.segs
+    agg_by_row = frontier.agg_by_row
+    points = flat.points
+    offer = best.offer
+
+    thresholds = [0.0] * n
+    exhausted = [False] * n
+    seen: set[int] = set()
+    new_records = 0
+    best_dist = best.best_dist
+    full = best.is_full()
+    total = 0.0                       # incremental sum(thresholds)
+    slack = (n + 4.0) * _TWO_ULP      # relative error budget of the screen
+
+    while True:
+        threshold_total = sum(thresholds)
+        if full and threshold_total >= best_dist:
+            break
+        if all(exhausted):
+            break
+        progressed = False
+        for i in range(n):
+            if exhausted[i]:
+                continue
+            stream = stream_of[i]
+            seg = segs[stream]
+            pos = seg[0]
+            if pos < seg[1]:
+                # Inline emission: the active segment strictly precedes
+                # every node bound left in the stream's frontier.
+                seg[0] = pos + 1
+                key = seg[2][pos]
+                row = seg[3][pos]
+                record_id = seg[4][pos]
+            else:
+                emitted = advance(stream)
+                if emitted is None:
+                    exhausted[i] = True
+                    continue
+                key, row, record_id = emitted
+            progressed = True
+            total += key - thresholds[i]
+            thresholds[i] = key
+            slack += _TWO_ULP
+            if record_id not in seen:
+                seen.add(record_id)
+                new_records += 1
+                offer(record_id, points[row], float(agg_by_row[row]))
+                best_dist = best.best_dist
+                full = best.is_full()
+            if (
+                full
+                and total + slack * (total + best_dist + 1.0) >= best_dist
+                and sum(thresholds) >= best_dist
+            ):
+                break
+        if not progressed:
+            break
+    flat.stats.record_distance_computations(n * new_records)

@@ -184,6 +184,107 @@ def boxes_mindist_box(
     return np.sqrt(np.sum(delta * delta, axis=1))
 
 
+def boxes_mindist_points(lows: np.ndarray, highs: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """``mindist(N_j, q_i)`` matrix for ``m`` boxes against ``n`` points.
+
+    Returns an ``(n, m)`` array whose row ``i`` equals
+    :func:`boxes_mindist_point` for ``points[i]`` — the same subtraction
+    and max operations applied per element, so the matrix rows are
+    bit-identical to the per-point kernel.  The multi-stream MQM
+    frontier scores an internal node against every query point in this
+    single call.
+    """
+    delta = np.maximum(
+        0.0,
+        np.maximum(lows[None, :, :] - points[:, None, :], points[:, None, :] - highs[None, :, :]),
+    )
+    return np.sqrt(np.sum(delta * delta, axis=2))
+
+
+def boxes_mindist_boxes(
+    lows: np.ndarray, highs: np.ndarray, query_lows: np.ndarray, query_highs: np.ndarray
+) -> np.ndarray:
+    """``mindist(N_j, M_b)`` for ``m`` boxes against ``B`` query rectangles.
+
+    Returns a ``(B, m)`` array whose row ``b`` equals
+    :func:`boxes_mindist_box` for ``[query_lows[b], query_highs[b]]``
+    (same elementwise arithmetic, hence bit-identical rows).  The shared
+    batch executor scores one child slice against every query MBR of a
+    bucket in this single call.
+    """
+    delta = np.maximum(
+        0.0,
+        np.maximum(
+            lows[None, :, :] - query_highs[:, None, :],
+            query_lows[:, None, :] - highs[None, :, :],
+        ),
+    )
+    return np.sqrt(np.sum(delta * delta, axis=2))
+
+
+def boxes_groups_mindist(lows: np.ndarray, highs: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """Aggregate lower bound ``amindist(N_j, Q_b)`` for ``B`` stacked groups.
+
+    ``groups`` is a ``(B, n, dims)`` stack; the result is ``(B, m)`` and
+    row ``b`` equals :func:`boxes_group_mindist` (sum, unweighted) for
+    ``groups[b]``: the per-element max/subtract arithmetic is identical
+    and each reduction runs over its own contiguous ``n`` axis, so rows
+    are bit-identical to the per-query kernel.
+    """
+    delta = np.maximum(
+        0.0,
+        np.maximum(
+            lows[None, :, None, :] - groups[:, None, :, :],
+            groups[:, None, :, :] - highs[None, :, None, :],
+        ),
+    )
+    matrix = np.sqrt(np.sum(delta * delta, axis=3))
+    return reduce_aggregate(matrix, SUM)
+
+
+def groups_aggregate_distances_2d(points: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """2-D fast path of :func:`batched_aggregate_distances` (sum, unweighted).
+
+    Flattens the ``(B, n, 2)`` group stack into per-axis ``(m, B*n)``
+    operations (the same arithmetic :class:`Scorer2D` uses — summing a
+    length-2 axis is exactly ``x + y``) and reduces each group's
+    contiguous ``n`` block, so row ``b`` of the ``(B, m)`` result is
+    bit-identical to :func:`aggregate_distances` against ``groups[b]``
+    while avoiding the 4-D broadcast temporaries.
+    """
+    count, batch, n = points.shape[0], groups.shape[0], groups.shape[1]
+    gx = np.ascontiguousarray(groups[:, :, 0]).reshape(-1)
+    gy = np.ascontiguousarray(groups[:, :, 1]).reshape(-1)
+    dx = points[:, None, 0] - gx[None, :]
+    dx *= dx
+    dy = points[:, None, 1] - gy[None, :]
+    dy *= dy
+    dx += dy
+    np.sqrt(dx, out=dx)
+    return np.ascontiguousarray(np.add.reduce(dx.reshape(count, batch, n), axis=2).T)
+
+
+def boxes_groups_mindist_2d(lows: np.ndarray, highs: np.ndarray, groups: np.ndarray) -> np.ndarray:
+    """2-D fast path of :func:`boxes_groups_mindist` (sum, unweighted).
+
+    Same flattening as :func:`groups_aggregate_distances_2d`; row ``b``
+    of the ``(B, m)`` result is bit-identical to
+    :func:`boxes_group_mindist` against ``groups[b]``.
+    """
+    count, batch, n = lows.shape[0], groups.shape[0], groups.shape[1]
+    gx = np.ascontiguousarray(groups[:, :, 0]).reshape(-1)
+    gy = np.ascontiguousarray(groups[:, :, 1]).reshape(-1)
+    ax = np.maximum(lows[:, None, 0] - gx[None, :], gx[None, :] - highs[:, None, 0])
+    np.maximum(ax, 0.0, out=ax)
+    ax *= ax
+    ay = np.maximum(lows[:, None, 1] - gy[None, :], gy[None, :] - highs[:, None, 1])
+    np.maximum(ay, 0.0, out=ay)
+    ay *= ay
+    ax += ay
+    np.sqrt(ax, out=ax)
+    return np.ascontiguousarray(np.add.reduce(ax.reshape(count, batch, n), axis=2).T)
+
+
 def boxes_group_mindist(
     lows: np.ndarray,
     highs: np.ndarray,
@@ -314,6 +415,49 @@ class Scorer2D:
         return np.sqrt(a, out=a)
 
     # -- group kernels (unweighted sum aggregate) ----------------------
+    def group_distance_matrix(self, points: np.ndarray) -> np.ndarray:
+        """The ``(m, n)`` distance matrix behind :meth:`group_sum_distances`.
+
+        Column ``i`` is bit-identical to :meth:`point_distances` against
+        query point ``i`` (per-axis subtract/square/add/sqrt — summing a
+        length-2 axis is exactly ``x + y``).  The multi-stream MQM
+        frontier consumes the whole matrix: every active stream's leaf
+        keys come from one call.  The view aliases the workspace — copy
+        before the next scorer call.
+        """
+        m = points.shape[0]
+        a, b = self._mn_a[:m], self._mn_b[:m]
+        np.subtract(points[:, None, 0], self.group_x[None, :], out=a)
+        np.multiply(a, a, out=a)
+        np.subtract(points[:, None, 1], self.group_y[None, :], out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
+    def group_mindist_matrix(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        """The ``(m, n)`` mindist matrix behind :meth:`boxes_group_sum_mindist`.
+
+        Column ``i`` is bit-identical to :meth:`boxes_mindist_point`
+        against query point ``i``; used by the multi-stream MQM frontier
+        to bound an internal node's children for every stream at once.
+        The view aliases the workspace — copy before the next call.
+        """
+        m = lows.shape[0]
+        a, b = self._mn_a[:m], self._mn_b[:m]
+        np.subtract(lows[:, None, 0], self.group_x[None, :], out=a)
+        np.subtract(self.group_x[None, :], highs[:, None, 0], out=b)
+        np.maximum(a, b, out=a)
+        np.maximum(a, 0.0, out=a)
+        np.multiply(a, a, out=a)
+        c = self._mn_c[:m]
+        np.subtract(lows[:, None, 1], self.group_y[None, :], out=b)
+        np.subtract(self.group_y[None, :], highs[:, None, 1], out=c)
+        np.maximum(b, c, out=b)
+        np.maximum(b, 0.0, out=b)
+        np.multiply(b, b, out=b)
+        np.add(a, b, out=a)
+        return np.sqrt(a, out=a)
+
     def group_sum_distances(self, points: np.ndarray) -> np.ndarray:
         """:func:`aggregate_distances` (sum, unweighted) into reused buffers."""
         m = points.shape[0]

@@ -22,12 +22,16 @@ import os
 import numpy as np
 import pytest
 
-from repro.api.executor import ExecutionContext, execute_spec
+from repro.api.executor import ExecutionContext, execute_batch, execute_spec
+from repro.api.planner import QueryPlanner
 from repro.api.registry import available_algorithms
 from repro.api.spec import DISK, MEMORY, QuerySpec
 from repro.core.bruteforce import brute_force_gnn
+from repro.core.mqm import mqm
+from repro.core.types import GroupQuery
 from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
+from repro.storage.buffer import LRUBuffer
 
 SEED = 20040101
 
@@ -251,3 +255,159 @@ class TestDynamicTreeConformance:
             tree.insert(points[i] + 0.25, record_id=1000 + i)
         tree.validate()
         check()
+
+
+class TestMultiStreamMQMConformance:
+    """The vectorized multi-stream MQM engine vs the object-path reference.
+
+    The flat engine replaces ``n`` generator streams with one merged
+    frontier; it must be *indistinguishable* from object MQM — same
+    neighbors, same node-access/leaf-access/distance-computation
+    counters, and (with an attached LRU buffer) the same hit/miss
+    sequence — across ``k`` and group cardinalities, with deterministic
+    ``(distance, record_id)`` result ordering.
+    """
+
+    @pytest.fixture(scope="class")
+    def flat(self, tree):
+        return FlatRTree.from_tree(tree, buffer=None)
+
+    @pytest.mark.parametrize("k", [1, 4, 8])
+    def test_flat_mqm_is_bit_identical_to_object_mqm(self, tree, flat, k):
+        rng = np.random.default_rng(SEED + 7)
+        for n in (2, 9, 33):
+            group = rng.uniform(150, 850, size=(n, 2))
+            reference = mqm(tree, GroupQuery(group, k=k))
+            result = mqm(flat, GroupQuery(group, k=k))
+            assert [nb.as_tuple() for nb in result.neighbors] == [
+                nb.as_tuple() for nb in reference.neighbors
+            ], (k, n)
+            assert (
+                result.cost.node_accesses,
+                result.cost.leaf_accesses,
+                result.cost.distance_computations,
+            ) == (
+                reference.cost.node_accesses,
+                reference.cost.leaf_accesses,
+                reference.cost.distance_computations,
+            ), (k, n)
+            pairs = [(nb.distance, nb.record_id) for nb in result.neighbors]
+            assert pairs == sorted(pairs), "results must be (distance, id) ordered"
+
+    def test_flat_mqm_preserves_buffer_hit_miss_sequence(self, dataset):
+        object_buffer = LRUBuffer(8)
+        flat_buffer = LRUBuffer(8)
+        tree = RTree.bulk_load(dataset, capacity=16, buffer=object_buffer)
+        flat = FlatRTree.from_tree(tree, buffer=flat_buffer)
+        rng = np.random.default_rng(SEED + 8)
+        for _ in range(4):
+            group = rng.uniform(200, 800, size=(12, 2))
+            reference = mqm(tree, GroupQuery(group, k=4))
+            result = mqm(flat, GroupQuery(group, k=4))
+            assert result.cost.page_faults == reference.cost.page_faults
+        assert (flat_buffer.hits, flat_buffer.misses) == (
+            object_buffer.hits,
+            object_buffer.misses,
+        )
+
+    def test_weighted_mqm_rejected_on_both_paths(self, tree):
+        flat = FlatRTree.from_tree(tree, buffer=None)
+        group = np.random.default_rng(SEED).uniform(300, 700, size=(4, 2))
+        weights = np.array([1.0, 2.0, 1.0, 0.5])
+        for index in (tree, flat):
+            with pytest.raises(ValueError, match="weighted"):
+                mqm(index, GroupQuery(group, k=2, weights=weights))
+        with pytest.raises(ValueError, match="does not support weighted"):
+            QueryPlanner().plan(
+                QuerySpec(group=group, k=2, weights=weights, algorithm="mqm")
+            )
+
+    def test_disk_resident_mqm_rejected_at_plan_time(self):
+        group = np.random.default_rng(SEED).uniform(300, 700, size=(40, 2))
+        with pytest.raises(ValueError, match="memory-resident"):
+            QueryPlanner().plan(
+                QuerySpec(group=group, k=2, residency=DISK, algorithm="mqm")
+            )
+
+
+class TestSharedTraversalBatchConformance:
+    """``execute_many``'s shared-traversal path vs object-path MQM.
+
+    One bucket traversal answers every spec; the answers must equal the
+    object-path MQM answers (the reference algorithm for sum groups)
+    and per-query ``execute``, with the pinned bucket-level counters of
+    the shared traversal and deterministic ``(distance, record_id)``
+    ordering.
+    """
+
+    #: Bucket-level counters of the shared traversal for the pinned
+    #: workload below, by k.  The traversal reads each snapshot node at
+    #: most once per bucket — far below the summed per-query counts —
+    #: and any change to its pruning or charging shows up here exactly.
+    BATCH_PINS = {
+        1: (22, 18624),
+        4: (22, 20984),
+        8: (27, 22776),
+    }
+
+    @pytest.fixture()
+    def pinned_specs(self):
+        rng = np.random.default_rng(SEED + 9)
+        specs = []
+        for _ in range(16):
+            center = rng.uniform(250, 750, size=2)
+            group = rng.uniform(center - 100, center + 100, size=(8, 2))
+            specs.append(QuerySpec(group=group, k=4))
+        return specs
+
+    @pytest.mark.parametrize("k", [1, 4, 8])
+    def test_batch_matches_object_mqm_and_per_query_execute(self, context, tree, k):
+        rng = np.random.default_rng(SEED + 10)
+        specs = []
+        for _ in range(12):
+            center = rng.uniform(250, 750, size=2)
+            group = rng.uniform(center - 120, center + 120, size=(6, 2))
+            specs.append(QuerySpec(group=group, k=k))
+        flat_context = ExecutionContext(
+            tree=tree, points=context.points, flat=FlatRTree.from_tree(tree, buffer=None)
+        )
+        outcomes = execute_batch(flat_context, specs)
+        for spec, outcome in zip(specs, outcomes):
+            reference = mqm(tree, spec.group_query())
+            assert outcome.record_ids() == reference.record_ids(), k
+            assert np.allclose(
+                outcome.distances(), reference.distances(), rtol=1e-9, atol=1e-9
+            ), k
+            single = execute_spec(flat_context, spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+            pairs = [(nb.distance, nb.record_id) for nb in outcome.neighbors]
+            assert pairs == sorted(pairs)
+
+    def test_pinned_bucket_counters(self, tree, pinned_specs):
+        flat = FlatRTree.from_tree(tree, buffer=None)
+        flat_context = ExecutionContext(tree=tree, points=None, flat=flat)
+        for k, (node_accesses, distance_computations) in self.BATCH_PINS.items():
+            specs = [spec.replace(k=k) for spec in pinned_specs]
+            outcomes = execute_batch(flat_context, specs)
+            for outcome in outcomes:
+                assert outcome.cost.algorithm == "MBM-batch"
+                assert outcome.cost.node_accesses == node_accesses, k
+                assert outcome.cost.distance_computations == distance_computations, k
+
+    def test_weighted_specs_stay_off_the_shared_path(self, context, tree):
+        rng = np.random.default_rng(SEED + 11)
+        group = rng.uniform(300, 700, size=(5, 2))
+        weights = rng.uniform(0.5, 2.0, size=5)
+        specs = [
+            QuerySpec(group=group, k=3, weights=weights, algorithm="mbm")
+            for _ in range(3)
+        ]
+        flat_context = ExecutionContext(
+            tree=tree, points=context.points, flat=FlatRTree.from_tree(tree, buffer=None)
+        )
+        outcomes = execute_batch(flat_context, specs)
+        reference = execute_spec(flat_context, specs[0])
+        for outcome in outcomes:
+            assert outcome.cost.algorithm != "MBM-batch"
+            assert outcome.record_ids() == reference.record_ids()

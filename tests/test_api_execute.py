@@ -7,6 +7,7 @@ import pytest
 
 from repro.api import QuerySpec
 from repro.core.engine import GNNEngine
+from repro.rtree.flat import FlatRTree
 from repro.storage.pointfile import PointFile
 
 
@@ -138,6 +139,128 @@ class TestExecuteMany:
         for spec, outcome in zip(specs, batch):
             single = buffered.execute(spec)
             assert outcome.record_ids() == single.record_ids()
+
+
+class TestSharedTraversalBatches:
+    """The flat-index shared-traversal path of ``execute_many``."""
+
+    def _specs(self, rng, count=24, n=6, k=3):
+        specs = []
+        for _ in range(count):
+            center = rng.uniform(200, 800, size=2)
+            specs.append(
+                QuerySpec(group=rng.uniform(center - 100, center + 100, size=(n, 2)), k=k)
+            )
+        return specs
+
+    def test_shared_batch_matches_per_query_execute(self, engine, rng):
+        specs = self._specs(rng)
+        batch = engine.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+            assert outcome.cost.algorithm == "MBM-batch"
+
+    def test_snapshot_is_built_once_per_batch(self, small_points, rng, monkeypatch):
+        """Regression: one batch must trigger at most one lazy snapshot build.
+
+        Before the executor pinned the snapshot up front, every
+        flat-capable plan could independently reach the engine's lazy
+        builder — after an interleaved insert invalidated the cache,
+        nothing guaranteed a single rebuild for the whole batch.
+        """
+        engine = GNNEngine(small_points, capacity=16)
+        builds = []
+        original = FlatRTree.from_tree.__func__
+
+        def counting(cls, tree, buffer="inherit"):
+            builds.append(1)
+            return original(cls, tree, buffer)
+
+        monkeypatch.setattr(FlatRTree, "from_tree", classmethod(counting))
+
+        specs = self._specs(rng)
+        engine.execute_many(specs)
+        assert len(builds) == 1
+        engine.execute_many(specs)
+        assert len(builds) == 1  # cached snapshot reused across batches
+
+        engine.insert([500.0, 500.0])  # invalidates the snapshot
+        batch = engine.execute_many(specs)
+        assert len(builds) == 2  # exactly one rebuild for the whole batch
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+        assert len(builds) == 2  # per-query execute reuses it too
+
+    def test_mixed_ks_bucket_separately_with_identical_answers(self, engine, rng):
+        specs = []
+        for k in (1, 4, 8, 4, 1, 8, 4, 1):
+            center = rng.uniform(200, 800, size=2)
+            specs.append(
+                QuerySpec(group=rng.uniform(center - 80, center + 80, size=(5, 2)), k=k)
+            )
+        batch = engine.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+
+    def test_single_flat_spec_stays_on_per_query_path(self, engine, rng):
+        spec = QuerySpec(group=rng.uniform(200, 800, size=(5, 2)), k=3)
+        (outcome,) = engine.execute_many([spec])
+        assert outcome.cost.algorithm.startswith("MBM-best_first")
+        single = engine.execute(spec)
+        assert outcome.record_ids() == single.record_ids()
+
+    def test_object_index_specs_stay_off_the_shared_path(self, engine, rng):
+        group = rng.uniform(200, 800, size=(5, 2))
+        specs = [QuerySpec(group=group, k=3, index="object") for _ in range(3)]
+        batch = engine.execute_many(specs)
+        for outcome in batch:
+            assert outcome.cost.algorithm.startswith("MBM-best_first")
+
+    def test_boundary_ties_resolve_canonically_to_smallest_ids(self):
+        """Exact k-th-distance ties go to the smallest record ids.
+
+        Four points tie at the same aggregate distance; the shared
+        traversal must keep the two smallest ids, deterministically,
+        and report them in (distance, record_id) order.
+        """
+        data = np.array(
+            [[0.0, 0.0], [10.0, 0.0], [0.0, 10.0], [10.0, 10.0],
+             [100.0, 100.0], [101.0, 100.0], [100.0, 101.0], [101.0, 101.0],
+             [50.0, 50.0], [51.0, 50.0]]
+        )
+        engine = GNNEngine(data, capacity=4)
+        spec = QuerySpec(group=np.array([[5.0, 5.0], [5.0, 5.0]]), k=2)
+        for outcome in engine.execute_many([spec, spec]):
+            assert outcome.cost.algorithm == "MBM-batch"
+            assert outcome.record_ids() == [0, 1]
+            assert outcome.distances()[0] == outcome.distances()[1]
+
+    def test_leftover_singleton_chunk_stays_on_per_query_path(self, small_points, rng):
+        """A bucket of max-chunk + 1 must not run a 1-member shared traversal."""
+        from repro.api import executor
+
+        engine = GNNEngine(small_points, capacity=16)
+        specs = self._specs(rng, count=executor.SHARED_BUCKET_MAX_MEMBERS + 1)
+        batch = engine.execute_many(specs)
+        labels = [outcome.cost.algorithm for outcome in batch]
+        assert labels.count("MBM-batch") == executor.SHARED_BUCKET_MAX_MEMBERS
+        assert sum(label.startswith("MBM-best_first") for label in labels) == 1
+        for spec, outcome in zip(specs, batch):
+            assert outcome.record_ids() == engine.execute(spec).record_ids()
+
+    def test_snapshotless_engine_still_answers_batches(self, small_points, rng):
+        engine = GNNEngine(small_points, capacity=16, snapshot=False)
+        specs = self._specs(rng, count=6)
+        batch = engine.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.cost.algorithm.startswith("MBM-best_first")
 
 
 class TestDeprecatedShims:

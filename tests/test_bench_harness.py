@@ -203,3 +203,67 @@ class TestCommandLine:
         content = markdown_path.read_text(encoding="utf-8")
         assert content.startswith("### fig5_1_pp")
         assert "| node_accesses |" in content or "node_accesses" in content
+
+
+class TestBaselineCompare:
+    """The --compare regression gate over baseline documents."""
+
+    @staticmethod
+    def _document(mqm=3.0, mbm=2.9, batch=4.5):
+        return {
+            "memory_fig5_1": {
+                "algorithms": {
+                    "MQM": {"flat_speedup": mqm},
+                    "MBM": {"flat_speedup": mbm},
+                }
+            },
+            "batch_flat": {"batch_speedup": batch},
+        }
+
+    def test_collect_speedups_flattens_every_ratio(self):
+        from repro.bench.baseline import collect_speedups
+
+        speedups = collect_speedups(self._document())
+        assert speedups == {
+            "flat_speedup/MBM": 2.9,
+            "flat_speedup/MQM": 3.0,
+            "batch_speedup": 4.5,
+        }
+
+    def test_identical_documents_pass(self):
+        from repro.bench.baseline import compare_baseline
+
+        document = self._document()
+        assert compare_baseline(document, document) == []
+
+    def test_small_noise_within_floor_passes(self):
+        from repro.bench.baseline import compare_baseline
+
+        reference = self._document(mqm=3.0)
+        current = self._document(mqm=2.75)  # above the 0.9 floor of 2.7
+        assert compare_baseline(current, reference) == []
+
+    def test_regression_below_floor_fails_with_named_ratio(self):
+        from repro.bench.baseline import compare_baseline
+
+        reference = self._document(mqm=3.0, batch=4.5)
+        current = self._document(mqm=1.1, batch=1.0)
+        failures = compare_baseline(current, reference)
+        assert len(failures) == 2
+        assert any("flat_speedup/MQM" in failure for failure in failures)
+        assert any("batch_speedup" in failure for failure in failures)
+
+    def test_missing_section_fails(self):
+        from repro.bench.baseline import compare_baseline
+
+        reference = self._document()
+        current = self._document()
+        del current["batch_flat"]
+        failures = compare_baseline(current, reference)
+        assert failures == ["batch_speedup: missing from the current measurement"]
+
+    def test_cli_compare_requires_quick(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["--compare", "whatever.json"]) == 2
+        assert "--compare requires --quick" in capsys.readouterr().err

@@ -304,3 +304,86 @@ class TestBitIdentityHotPath:
             kernels.boxes_mindist_point(lows, highs, q),
             [MBR(low, high).mindist_point(q) for low, high in zip(lows, highs)],
         )
+
+
+class TestBatchKernels:
+    """The ``(B, ·)`` batch kernels must be row-identical per query.
+
+    Each batch kernel claims its row ``b`` equals the corresponding
+    per-query kernel against ``groups[b]`` *bit for bit* — the property
+    that lets the shared-traversal batch path and the multi-stream MQM
+    frontier reuse one kernel call for many queries without changing a
+    single answer.
+    """
+
+    @staticmethod
+    def _stack(group, batch):
+        """``batch`` shifted copies of ``group`` (same cardinality/dims)."""
+        return np.stack([group + 0.37 * b for b in range(batch)])
+
+    @given(data=workload(min_candidates=1), batch=st.integers(min_value=1, max_value=4))
+    @settings(deadline=None, max_examples=40)
+    def test_batched_aggregates_match_per_group_rows(self, data, batch):
+        candidates, group, _ = data
+        groups = self._stack(group, batch)
+        stacked = kernels.batched_aggregate_distances(candidates, groups)
+        for b in range(batch):
+            assert np.array_equal(
+                stacked[b], kernels.aggregate_distances(candidates, groups[b])
+            )
+        if group.shape[1] == 2:
+            fast = kernels.groups_aggregate_distances_2d(candidates, groups)
+            for b in range(batch):
+                assert np.array_equal(
+                    fast[b], kernels.aggregate_distances(candidates, groups[b])
+                )
+
+    @given(data=boxes_and_group(), batch=st.integers(min_value=1, max_value=4))
+    @settings(deadline=None, max_examples=40)
+    def test_batched_box_kernels_match_per_query_rows(self, data, batch):
+        lows, highs, group, _ = data
+        groups = self._stack(group, batch)
+        query_lows = groups.min(axis=1)
+        query_highs = groups.max(axis=1)
+        mindists = kernels.boxes_mindist_boxes(lows, highs, query_lows, query_highs)
+        bounds = kernels.boxes_groups_mindist(lows, highs, groups)
+        for b in range(batch):
+            assert np.array_equal(
+                mindists[b],
+                kernels.boxes_mindist_box(lows, highs, query_lows[b], query_highs[b]),
+            )
+            assert np.array_equal(
+                bounds[b], kernels.boxes_group_mindist(lows, highs, groups[b])
+            )
+        if group.shape[1] == 2:
+            fast = kernels.boxes_groups_mindist_2d(lows, highs, groups)
+            for b in range(batch):
+                assert np.array_equal(
+                    fast[b], kernels.boxes_group_mindist(lows, highs, groups[b])
+                )
+
+    @given(data=boxes_and_group())
+    @settings(deadline=None, max_examples=40)
+    def test_boxes_mindist_points_rows_match_per_point_kernel(self, data):
+        lows, highs, group, _ = data
+        matrix = kernels.boxes_mindist_points(lows, highs, group)
+        for i, point in enumerate(group):
+            assert np.array_equal(
+                matrix[i], kernels.boxes_mindist_point(lows, highs, point)
+            )
+
+    @given(data=workload(min_candidates=1))
+    @settings(deadline=None, max_examples=40)
+    def test_scorer_matrix_methods_match_general_kernels(self, data):
+        candidates, group, _ = data
+        if group.shape[1] != 2:
+            return  # Scorer2D is the 2-D fast path only
+        scorer = kernels.Scorer2D(group, capacity=max(1, candidates.shape[0]))
+        matrix = np.array(scorer.group_distance_matrix(candidates))
+        assert np.array_equal(matrix, kernels.pairwise_distances(candidates, group))
+        lows = np.minimum(candidates, candidates - 1.0)
+        highs = np.maximum(candidates, candidates + 1.0)
+        mindists = np.array(scorer.group_mindist_matrix(lows, highs))
+        assert np.array_equal(
+            mindists, kernels.boxes_mindist_points(lows, highs, group).T
+        )
