@@ -202,7 +202,7 @@ def execute_batch(
         flat = context.get_flat()
     if flat is not None:
         shared_indices = [
-            i for i in remaining if _shared_traversal_eligible(specs[i], plans[i])
+            i for i in remaining if shared_traversal_eligible(specs[i], plans[i])
         ]
         for index, result in _shared_traversal_mbm(flat, specs, plans, shared_indices):
             if specs[index].trace:
@@ -218,13 +218,17 @@ def execute_batch(
 # ----------------------------------------------------------------------
 # shared-traversal batches (flat MBM)
 # ----------------------------------------------------------------------
-def _shared_traversal_eligible(spec: QuerySpec, plan: QueryPlan) -> bool:
+def shared_traversal_eligible(spec: QuerySpec, plan: QueryPlan) -> bool:
     """Whether a spec can join a shared-traversal MBM bucket.
 
     The shared traversal specialises the paper's setting — best-first
     MBM over an unweighted sum group held in memory — which is exactly
     what the auto policy plans for such specs.  Everything else stays on
     the per-query path (with identical answers either way).
+
+    This predicate is the public batch-eligibility contract: the serving
+    scheduler (:mod:`repro.serve.scheduler`) uses it to decide which
+    incoming requests may be coalesced into one micro-batch.
     """
     return (
         plan.use_flat
@@ -232,6 +236,23 @@ def _shared_traversal_eligible(spec: QuerySpec, plan: QueryPlan) -> bool:
         and spec.group is not None
         and spec.weights is None
         and spec.aggregate == kernels.SUM
+    )
+
+
+def shared_bucket_key(spec: QuerySpec, plan: QueryPlan) -> tuple | None:
+    """The shared-traversal bucket ``spec`` coalesces into, or ``None``.
+
+    Specs with equal keys can be answered by *one* :func:`mbm_batch`
+    traversal (they stack along the batch dimensions: group cardinality,
+    ``k`` and the Heuristic-3 toggle).  ``None`` means the spec is not
+    shared-traversal eligible and must run on the per-query path.
+    """
+    if not shared_traversal_eligible(spec, plan):
+        return None
+    return (
+        spec.cardinality,
+        spec.k,
+        bool(plan.options.get("use_heuristic3", True)),
     )
 
 
@@ -252,11 +273,12 @@ def _shared_traversal_mbm(
         return
     buckets: dict[tuple, list[int]] = {}
     for i in indices:
-        key = (
-            specs[i].cardinality,
-            specs[i].k,
-            bool(plans[i].options.get("use_heuristic3", True)),
-        )
+        key = shared_bucket_key(specs[i], plans[i])
+        if key is None:
+            # Defensive: the caller prefilters with the same predicate;
+            # an ineligible spec must fall back to the per-query path,
+            # never join a shared bucket.
+            continue
         buckets.setdefault(key, []).append(i)
     dims = flat.dims
     for (cardinality, k, use_heuristic3), bucket in buckets.items():

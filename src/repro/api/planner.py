@@ -19,6 +19,7 @@ The auto policy encodes the paper's recommendations:
 
 from __future__ import annotations
 
+import difflib
 import math
 from dataclasses import dataclass, replace
 from types import MappingProxyType
@@ -173,10 +174,23 @@ class QueryPlanner:
         }
         unknown = sorted(set(options) - set(info.options))
         if unknown:
-            known = sorted(info.options) or ["(none)"]
+            valid = sorted(set(info.options) | set(FILE_GEOMETRY_OPTIONS))
+            suggestions = [
+                close[0]
+                for name in unknown
+                if (close := difflib.get_close_matches(name, valid, n=1))
+            ]
+            hint = f" (did you mean {sorted(set(suggestions))}?)" if suggestions else ""
+            known = sorted(info.options)
+            known_text = (
+                f"options valid for {info.name!r}: {known}"
+                if known
+                else f"algorithm {info.name!r} takes no algorithm options"
+            )
             raise ValueError(
                 f"algorithm {info.name!r} does not understand option(s) "
-                f"{unknown}; supported options: {known}"
+                f"{unknown}{hint}; {known_text}; file-geometry options "
+                f"{sorted(FILE_GEOMETRY_OPTIONS)} are accepted on any spec"
             )
         return QueryPlan(
             spec=spec,

@@ -23,7 +23,12 @@ import time
 
 import json
 
-from repro.bench.baseline import DEFAULT_OUTPUT, compare_baseline, write_baseline
+from repro.bench.baseline import (
+    DEFAULT_OUTPUT,
+    baseline_warnings,
+    compare_baseline,
+    write_baseline,
+)
 from repro.bench.config import available_scales, get_scale
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.report import format_table, results_to_markdown
@@ -58,7 +63,8 @@ def _parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "measure the fixed perf baseline (fig-5.1 smoke, object vs flat "
-            f"index, plus one disk config) and write {DEFAULT_OUTPUT}"
+            "index, one disk config, the execute_many batch path, and the "
+            f"multi-worker serving section) and write {DEFAULT_OUTPUT}"
         ),
     )
     parser.add_argument(
@@ -106,9 +112,22 @@ def main(argv=None) -> int:
             f"speedup {batch['batch_speedup']:.2f}x "
             f"(B={batch['setting']['batch_size']})"
         )
+        serving = document["serving"]
+        for workers, row in sorted(serving["workers"].items(), key=lambda kv: int(kv[0])):
+            print(
+                f"  serve  {workers} worker(s) {row['throughput_rps']:8.1f} req/s   "
+                f"p50 {row['p50_ms']:6.1f} ms   p95 {row['p95_ms']:6.1f} ms   "
+                f"p99 {row['p99_ms']:6.1f} ms"
+            )
+        print(
+            f"  serve  4-worker throughput speedup over 1 worker: "
+            f"{serving['throughput_speedup_4w_vs_1w']:.2f}x"
+        )
         if args.compare is not None:
             with open(args.compare, "r", encoding="utf-8") as handle:
                 reference = json.load(handle)
+            for warning in baseline_warnings(document, reference):
+                print(f"warning: {warning}", file=sys.stderr)
             failures = compare_baseline(document, reference)
             if failures:
                 print(f"Speedup regression vs {args.compare}:", file=sys.stderr)

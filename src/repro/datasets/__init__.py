@@ -13,17 +13,21 @@ and workspace-overlap placement).
 from repro.datasets.real_like import pp_like, ts_like
 from repro.datasets.synthetic import gaussian_clusters, uniform_points
 from repro.datasets.workload import (
+    TraceRequest,
     WorkloadSpec,
     generate_query_group,
+    generate_request_trace,
     generate_workload,
     place_with_overlap,
     scale_into_workspace,
 )
 
 __all__ = [
+    "TraceRequest",
     "WorkloadSpec",
     "gaussian_clusters",
     "generate_query_group",
+    "generate_request_trace",
     "generate_workload",
     "place_with_overlap",
     "pp_like",

@@ -50,6 +50,29 @@ class WorkloadSpec:
         )
 
 
+def _place_query_box(
+    data_mbr: MBR, mbr_fraction: float, rng: np.random.Generator
+) -> tuple[np.ndarray, float]:
+    """A random square query box inside the workspace: ``(low corner, side)``.
+
+    The square's area is ``mbr_fraction * area(data_mbr)``, clamped so it
+    fits, and its position is uniform over the placements that keep it
+    inside the workspace.
+    """
+    extents = data_mbr.extents
+    side = float(np.sqrt(mbr_fraction * data_mbr.area()))
+    side = min(side, float(extents.min()))
+    low = np.array(
+        [
+            rng.uniform(data_mbr.low[d], data_mbr.high[d] - side)
+            if data_mbr.high[d] - side > data_mbr.low[d]
+            else data_mbr.low[d]
+            for d in range(data_mbr.dims)
+        ]
+    )
+    return low, side
+
+
 def generate_query_group(
     data_mbr: MBR,
     n: int,
@@ -66,18 +89,7 @@ def generate_query_group(
         raise ValueError("n must be positive")
     if not 0.0 < mbr_fraction <= 1.0:
         raise ValueError("mbr_fraction must be in (0, 1]")
-    extents = data_mbr.extents
-    # A square whose area is the requested fraction of the workspace area.
-    side = float(np.sqrt(mbr_fraction * data_mbr.area()))
-    side = min(side, float(extents.min()))
-    low = np.array(
-        [
-            rng.uniform(data_mbr.low[d], data_mbr.high[d] - side)
-            if data_mbr.high[d] - side > data_mbr.low[d]
-            else data_mbr.low[d]
-            for d in range(data_mbr.dims)
-        ]
-    )
+    low, side = _place_query_box(data_mbr, mbr_fraction, rng)
     return rng.uniform(low, low + side, size=(n, data_mbr.dims))
 
 
@@ -94,6 +106,90 @@ def generate_workload(
         generate_query_group(data_mbr, spec.n, spec.mbr_fraction, rng)
         for _ in range(spec.queries)
     ]
+
+
+@dataclass(frozen=True)
+class TraceRequest:
+    """One request of a serving trace: when it arrives and what it asks.
+
+    Attributes
+    ----------
+    arrival_s:
+        Arrival time in seconds since the start of the trace.
+    group:
+        The ``(n, dims)`` query group.
+    k:
+        Number of group nearest neighbors requested.
+    hotspot:
+        Index of the popularity hotspot the group was drawn from (useful
+        to verify cache behaviour against the Zipf skew).
+    """
+
+    arrival_s: float
+    group: np.ndarray
+    k: int
+    hotspot: int
+
+
+def generate_request_trace(
+    data_points: np.ndarray,
+    *,
+    requests: int,
+    rate_per_s: float,
+    n: int,
+    mbr_fraction: float,
+    k: int,
+    hotspots: int = 16,
+    zipf_exponent: float = 1.1,
+    seed: int = 0,
+) -> list[TraceRequest]:
+    """Seeded Poisson/Zipf request trace for serving experiments.
+
+    Models how user traffic actually reaches a GNN server rather than
+    the paper's fixed 100-query workloads: arrival times follow a
+    homogeneous Poisson process of ``rate_per_s`` requests per second
+    (i.i.d. exponential inter-arrivals), and spatial popularity is
+    skewed — ``hotspots`` query boxes are placed like the Figure-5
+    workloads (:func:`generate_query_group`'s placement, each of area
+    ``mbr_fraction`` of the workspace), and each request picks hotspot
+    ``i`` with probability proportional to ``(i + 1) ** -zipf_exponent``
+    (a Zipf law, so a few boxes receive most of the traffic), then draws
+    its ``n`` points uniformly inside that box.
+
+    The trace is fully determined by ``seed``: replaying it against two
+    server configurations compares them on identical work.
+    """
+    if requests < 1:
+        raise ValueError("requests must be positive")
+    if rate_per_s <= 0.0:
+        raise ValueError("rate_per_s must be positive")
+    if hotspots < 1:
+        raise ValueError("hotspots must be positive")
+    if zipf_exponent < 0.0:
+        raise ValueError("zipf_exponent must be non-negative")
+    if n < 1:
+        raise ValueError("n must be positive")
+    if not 0.0 < mbr_fraction <= 1.0:
+        raise ValueError("mbr_fraction must be in (0, 1]")
+    pts = as_points(data_points)
+    data_mbr = MBR.from_points(pts)
+    rng = np.random.default_rng(seed)
+
+    arrivals = np.cumsum(rng.exponential(1.0 / rate_per_s, size=requests))
+    boxes = [_place_query_box(data_mbr, mbr_fraction, rng) for _ in range(hotspots)]
+    weights = np.arange(1, hotspots + 1, dtype=np.float64) ** -zipf_exponent
+    choices = rng.choice(hotspots, size=requests, p=weights / weights.sum())
+
+    trace = []
+    for arrival, choice in zip(arrivals, choices):
+        low, side = boxes[choice]
+        group = rng.uniform(low, low + side, size=(n, data_mbr.dims))
+        trace.append(
+            TraceRequest(
+                arrival_s=float(arrival), group=group, k=k, hotspot=int(choice)
+            )
+        )
+    return trace
 
 
 def scale_into_workspace(

@@ -64,10 +64,12 @@ _ARRAY_FIELDS = (
 )
 
 #: Scalar metadata persisted alongside the arrays.
-_META_FIELDS = ("dims", "size", "capacity", "height")
+_META_FIELDS = ("dims", "size", "capacity", "height", "generation")
 
-#: On-disk format version (bumped on incompatible layout changes).
-FORMAT_VERSION = 1
+#: On-disk format version written by :meth:`FlatRTree.save`.  Version 2
+#: appends the snapshot ``generation`` token to the meta row; version-1
+#: archives (no token) are still read, with generation 0.
+FORMAT_VERSION = 2
 
 #: Sentinel distinguishing "not computed yet" from a legitimate None.
 _UNSET = object()
@@ -89,6 +91,7 @@ class FlatRTree:
         "size",
         "capacity",
         "height",
+        "generation",
         "lows",
         "highs",
         "child_start",
@@ -110,6 +113,7 @@ class FlatRTree:
         self.size = int(meta["size"])
         self.capacity = int(meta["capacity"])
         self.height = int(meta["height"])
+        self.generation = int(meta.get("generation", 0))
         self.stats = TreeStats()
         self.buffer = buffer
         self.mmap_io = mmap_io
@@ -272,7 +276,7 @@ class FlatRTree:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path, generation: int | None = None) -> None:
         """Write the snapshot as an *uncompressed* ``.npz`` archive.
 
         Uncompressed members are stored contiguously inside the zip,
@@ -280,10 +284,18 @@ class FlatRTree:
         The archive is written to exactly ``path`` (``np.savez``'s
         silent ``.npz``-appending is bypassed), so ``save(p)`` /
         ``load(p)`` always round-trip.
+
+        ``generation`` stamps the persisted snapshot with a publication
+        epoch (default: this snapshot's own ``generation``).  The
+        serving subsystem uses the token for hot-swaps: a publisher
+        saves the successor snapshot with a higher generation, and the
+        workers report which generation answered each batch.
         """
+        if generation is None:
+            generation = self.generation
         payload = {name: np.ascontiguousarray(getattr(self, name)) for name in _ARRAY_FIELDS}
         payload["meta"] = np.array(
-            [FORMAT_VERSION, self.dims, self.size, self.capacity, self.height],
+            [FORMAT_VERSION, self.dims, self.size, self.capacity, self.height, int(generation)],
             dtype=np.int64,
         )
         with open(path, "wb") as handle:
@@ -323,17 +335,20 @@ class FlatRTree:
 
 def _unpack_meta(meta_row: np.ndarray) -> dict:
     version = int(meta_row[0])
-    if version != FORMAT_VERSION:
+    if version not in (1, FORMAT_VERSION):
         raise ValueError(
             f"unsupported flat snapshot format version {version} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"(this build reads versions 1-{FORMAT_VERSION})"
         )
-    return {
+    meta = {
         "dims": int(meta_row[1]),
         "size": int(meta_row[2]),
         "capacity": int(meta_row[3]),
         "height": int(meta_row[4]),
     }
+    # Version 1 predates the hot-swap generation token.
+    meta["generation"] = int(meta_row[5]) if version >= 2 else 0
+    return meta
 
 
 # ----------------------------------------------------------------------

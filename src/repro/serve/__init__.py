@@ -1,0 +1,51 @@
+"""Concurrent GNN serving over shared memory-mapped snapshots.
+
+The serving subsystem turns the single-process primitives of this
+package into a one-machine server:
+
+* a published :class:`~repro.rtree.flat.FlatRTree` snapshot (``.npz``)
+  is memory-mapped read-only by N worker processes — the OS page cache
+  holds the index once, shared by all of them;
+* a micro-batching scheduler coalesces compatible requests within a
+  time/size window into the executor's shared-traversal buckets, so a
+  burst of "where should the n of us meet?" queries pays one traversal,
+  not one per request;
+* admission control sheds load past a bounded high-water mark, and a
+  hot-swap path publishes successor snapshots (generation tokens) that
+  workers pick up between batches, without dropping a single request.
+
+Quickstart::
+
+    from repro.serve import GNNServer
+    with GNNServer.from_points(points, tmpdir, workers=4) as server:
+        handle = server.handle()
+        result = handle.run(QuerySpec(group=group, k=3))
+
+Answers are bit-identical to sequential ``engine.execute`` — batching
+and parallelism change the schedule, never the arithmetic.
+"""
+
+from repro.serve.protocol import check_servable
+from repro.serve.scheduler import MicroBatcher
+from repro.serve.server import (
+    AsyncServerHandle,
+    GNNServer,
+    ServerHandle,
+    ServerOverloadedError,
+    ServingError,
+    default_worker_count,
+)
+from repro.serve.stats import ServerStats, ServingCounters
+
+__all__ = [
+    "AsyncServerHandle",
+    "GNNServer",
+    "MicroBatcher",
+    "ServerHandle",
+    "ServerOverloadedError",
+    "ServerStats",
+    "ServingCounters",
+    "ServingError",
+    "check_servable",
+    "default_worker_count",
+]

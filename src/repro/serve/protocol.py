@@ -1,0 +1,132 @@
+"""Wire protocol between the server process and its worker processes.
+
+Workers communicate with the server exclusively through two
+``multiprocessing`` queues carrying the message types defined here:
+
+* the server puts :class:`BatchRequest` messages (and a plain ``None``
+  shutdown sentinel) on the request queue;
+* workers put :class:`BatchReply` messages on the reply queue.
+
+Everything that crosses the boundary must pickle.  Results do —
+:class:`~repro.core.types.GNNResult` is plain data once the (process-
+local) plan attachment is stripped — but :class:`~repro.api.spec.QuerySpec`
+does not (its options live in a ``mappingproxy``), so specs are encoded
+to plain-dictionary payloads with :func:`encode_spec` and re-validated
+by :func:`decode_spec` on the worker side.
+
+:func:`check_servable` is the admission filter: serving workers hold
+*only* the shared flat snapshot, so any spec whose planned route needs
+resources of the submitting process (a simulated-disk query file, the
+dynamic object tree) is rejected up front, at submit time, with the
+reason named — not deep inside a worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.api.planner import QueryPlan
+from repro.api.spec import MEMORY, OBJECT, QuerySpec
+from repro.core.types import GNNResult
+
+#: Shutdown sentinel put on the request queue, one per worker.
+SHUTDOWN = None
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One micro-batch dispatched to whichever worker pops it first.
+
+    ``epoch`` and ``snapshot_path`` name the snapshot the batch must be
+    answered from: a worker whose mapped snapshot is older remaps before
+    executing (the hot-swap path).  ``items`` pairs each server-side
+    request id with its encoded spec payload.
+    """
+
+    epoch: int
+    snapshot_path: str
+    items: tuple[tuple[int, dict], ...]
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """A worker's answer to one :class:`BatchRequest`.
+
+    ``items`` carries ``(request_id, result, error)`` triples — exactly
+    one of ``result``/``error`` is set per request.  ``counters`` is the
+    worker's mergeable stats delta for this batch
+    (:meth:`repro.serve.stats.ServingCounters.snapshot`), and
+    ``generation`` the token of the snapshot that answered it.
+    """
+
+    worker_id: int
+    epoch: int
+    generation: int
+    items: tuple[tuple[int, GNNResult | None, str | None], ...]
+    counters: dict
+
+
+def check_servable(spec: QuerySpec, plan: QueryPlan) -> None:
+    """Reject specs a snapshot-only worker can never execute.
+
+    Raises ``ValueError`` naming the first blocking reason; returns
+    silently when the planned route runs over the shared flat snapshot
+    (or the snapshot-reconstructed dataset, for brute force).
+    """
+    if spec.group_file is not None:
+        raise ValueError(
+            "specs carrying a group_file cannot be served: the simulated "
+            "disk file lives in the submitting process, not in the workers"
+        )
+    if plan.residency != MEMORY:
+        raise ValueError(
+            "disk-resident specs traverse the dynamic object R-tree, which "
+            "serving workers do not hold; execute them on a local engine"
+        )
+    if spec.index == OBJECT:
+        raise ValueError(
+            "index='object' pins the query to the dynamic object R-tree, "
+            "which serving workers do not hold; use index='auto' or 'flat'"
+        )
+    if not plan.use_flat and plan.algorithm.name != "brute-force":
+        raise ValueError(
+            f"the planned route ({plan.algorithm.name}, options "
+            f"{dict(plan.options)!r}) has no flat-snapshot traversal; "
+            "serving workers hold only the shared mmap snapshot"
+        )
+
+
+def encode_spec(spec: QuerySpec) -> dict[str, Any]:
+    """Encode a (servable) spec as a picklable plain-dictionary payload."""
+    return {
+        "group": np.asarray(spec.group),
+        "k": spec.k,
+        "aggregate": spec.aggregate,
+        "weights": None if spec.weights is None else np.asarray(spec.weights),
+        "residency": spec.residency,
+        "algorithm": spec.algorithm,
+        "options": dict(spec.options),
+        "index": spec.index,
+        "label": spec.label,
+    }
+
+
+def decode_spec(payload: dict[str, Any]) -> QuerySpec:
+    """Rebuild (and re-validate) a :class:`QuerySpec` from its payload."""
+    return QuerySpec(**payload)
+
+
+def encode_result(result: GNNResult) -> GNNResult:
+    """Strip the process-local plan attachment so the result pickles.
+
+    A :class:`~repro.api.planner.QueryPlan` holds the registry's runner
+    callables and a ``mappingproxy``; neither crosses the process
+    boundary, so served results never carry ``result.plan`` (re-plan
+    with ``engine.explain`` client-side when the rationale is needed).
+    """
+    if result.plan is not None:
+        result.plan = None
+    return result

@@ -1,0 +1,555 @@
+"""The serving front end: admission, micro-batching, worker pool, hot-swap.
+
+:class:`GNNServer` is the process-level composition of the subsystem:
+
+* **workers** — N ``multiprocessing`` processes, each mapping the *same*
+  published snapshot read-only (:func:`repro.serve.worker.worker_main`);
+  the OS page cache shares the index physically across all of them;
+* **admission control** — requests are planned and validated at submit
+  time (plan errors and un-servable routes raise immediately), and a
+  bounded in-flight high-water mark sheds overload with
+  :class:`ServerOverloadedError` instead of queueing without bound;
+* **micro-batching** — accepted requests enter the
+  :class:`~repro.serve.scheduler.MicroBatcher`; full buckets dispatch
+  from the submitting thread, window-expired ones from the timer
+  thread, and every dispatched batch is answered by one worker-side
+  ``execute_many`` (shared traversals where members are compatible);
+* **futures** — ``submit`` returns a ``concurrent.futures.Future``; a
+  reply thread resolves it with the worker's result (or a
+  :class:`ServingError`) and feeds the latency reservoir;
+* **hot-swap** — :meth:`publish_snapshot` persists a successor snapshot
+  under the next generation token and :meth:`swap_snapshot` re-points
+  dispatch at it; workers finish their in-flight batch, then remap.
+
+:class:`ServerHandle` / :class:`AsyncServerHandle` are the client
+facades (sync and ``asyncio``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Sequence
+
+from repro.api.executor import SHARED_BUCKET_MAX_MEMBERS, shared_bucket_key
+from repro.api.planner import QueryPlanner
+from repro.api.spec import QuerySpec
+from repro.core.engine import GNNEngine
+from repro.core.types import GNNResult
+from repro.rtree.flat import FlatRTree
+from repro.serve.protocol import SHUTDOWN, BatchRequest, check_servable, encode_spec
+from repro.serve.scheduler import MicroBatcher
+from repro.serve.stats import ServerStats
+from repro.serve.worker import worker_main
+
+#: Default micro-batching window (seconds): long enough to coalesce a
+#: burst into one shared traversal, short enough to stay invisible next
+#: to per-query execution times.
+DEFAULT_WINDOW_S = 0.002
+
+#: Default shed threshold: in-flight requests past this raise
+#: :class:`ServerOverloadedError` at submit.
+DEFAULT_MAX_PENDING = 2048
+
+#: Bound on the planner's signature->plan cache.
+_PLAN_CACHE_LIMIT = 4096
+
+
+class ServingError(RuntimeError):
+    """A request failed inside a worker (carries the worker traceback)."""
+
+
+class ServerOverloadedError(RuntimeError):
+    """Admission control rejected the request (high-water mark reached)."""
+
+
+def _default_start_method() -> str:
+    # fork is markedly cheaper and safe here: workers are forked in
+    # __init__ before any server thread starts.  spawn remains available
+    # for platforms without fork.
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class GNNServer:
+    """Serve GNN queries from N worker processes over one shared snapshot.
+
+    Parameters
+    ----------
+    snapshot_path:
+        A snapshot persisted by :meth:`FlatRTree.save`.  Workers map it
+        with ``mmap_mode="r"``; nothing is copied per worker.
+    workers:
+        Number of worker processes.
+    window_s / max_batch:
+        Micro-batching window and size cap (see
+        :class:`~repro.serve.scheduler.MicroBatcher`); ``window_s=0``
+        disables coalescing.
+    max_pending:
+        Admission high-water mark: submits past this many in-flight
+        requests shed with :class:`ServerOverloadedError`.
+    io_stall_s_per_access:
+        Optional simulated disk stall charged by workers per R-tree
+        node access (0 disables; used by the serving benchmark to model
+        the paper's I/O cost).
+    start_method:
+        ``multiprocessing`` start method (default: fork when available).
+    """
+
+    def __init__(
+        self,
+        snapshot_path,
+        *,
+        workers: int = 2,
+        window_s: float = DEFAULT_WINDOW_S,
+        max_batch: int = SHARED_BUCKET_MAX_MEMBERS,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        io_stall_s_per_access: float = 0.0,
+        start_method: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_pending < 1:
+            raise ValueError("max_pending must be positive")
+        probe = FlatRTree.load(snapshot_path, mmap_mode="r")
+        self._dims = probe.dims
+        self._path = str(snapshot_path)
+        self._epoch = probe.generation
+        del probe  # release the probe mapping; workers map their own
+
+        self.max_pending = int(max_pending)
+        self._planner = QueryPlanner()
+        self._plan_cache: dict[tuple, object] = {}
+        self._stats = ServerStats()
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._batcher = MicroBatcher(window_s, max_batch)
+        self._futures: dict[int, Future] = {}
+        self._submit_times: dict[int, float] = {}
+        self._next_id = 0
+        self._closed = threading.Event()
+        self._reply_stop = threading.Event()
+
+        context = multiprocessing.get_context(start_method or _default_start_method())
+        self._requests = context.Queue()
+        self._replies = context.Queue()
+        # Processes are started before any server thread exists, so the
+        # fork start method never duplicates a thread mid-operation.
+        self._workers = [
+            context.Process(
+                target=worker_main,
+                args=(
+                    worker_id,
+                    self._requests,
+                    self._replies,
+                    self._path,
+                    self._epoch,
+                    float(io_stall_s_per_access),
+                ),
+                daemon=True,
+                name=f"gnn-serve-worker-{worker_id}",
+            )
+            for worker_id in range(int(workers))
+        ]
+        for process in self._workers:
+            process.start()
+
+        self._timer_thread = threading.Thread(
+            target=self._timer_loop, name="gnn-serve-timer", daemon=True
+        )
+        self._reply_thread = threading.Thread(
+            target=self._reply_loop, name="gnn-serve-replies", daemon=True
+        )
+        self._timer_thread.start()
+        self._reply_thread.start()
+
+    # ------------------------------------------------------------------
+    # construction conveniences
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, data_points, directory, capacity: int = 50, **server_options) -> "GNNServer":
+        """Build the index, publish generation-0, and serve it.
+
+        The one-call path from a raw dataset to a running server:
+        ``GNNServer.from_points(points, tmpdir, workers=4)``.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / "snapshot-gen000000.npz"
+        GNNEngine(data_points, capacity=capacity).snapshot().save(path, generation=0)
+        return cls(path, **server_options)
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(self, spec: QuerySpec) -> Future:
+        """Admit one spec; returns a future resolving to its :class:`GNNResult`.
+
+        Raises immediately (synchronously) for plan-time errors, for
+        specs a snapshot-only worker cannot execute, and — past the
+        ``max_pending`` high-water mark — with
+        :class:`ServerOverloadedError` (shed-with-error backpressure).
+        """
+        if self._closed.is_set():
+            raise RuntimeError("this GNNServer is closed")
+        if spec.dims != self._dims:
+            raise ValueError(
+                f"spec dimensionality {spec.dims} does not match the served "
+                f"snapshot ({self._dims}-d)"
+            )
+        plan = self._plan(spec)
+        check_servable(spec, plan)
+        payload = encode_spec(spec)
+        key = shared_bucket_key(spec, plan)
+        if key is None:
+            # Not shared-traversal eligible: coalesce per plan signature
+            # anyway (execute_many still amortises planning/locality).
+            key = ("solo", spec.plan_signature())
+        else:
+            key = ("shared", *key)
+
+        future: Future = Future()
+        with self._cond:
+            # Re-check under the lock: close() flips the flag and drains
+            # the batcher while holding it, so a submit that slipped past
+            # the fast-path check cannot enqueue into a drained batcher.
+            if self._closed.is_set():
+                raise RuntimeError("this GNNServer is closed")
+            if len(self._futures) >= self.max_pending:
+                self._stats.record_shed()
+                raise ServerOverloadedError(
+                    f"server overloaded: {len(self._futures)} requests in "
+                    f"flight (max_pending={self.max_pending}); request shed"
+                )
+            request_id = self._next_id
+            self._next_id += 1
+            self._futures[request_id] = future
+            self._submit_times[request_id] = time.monotonic()
+            self._stats.record_submit()
+            ready = self._batcher.offer(key, (request_id, payload), time.monotonic())
+            self._cond.notify_all()
+        if ready is not None:
+            self._dispatch(ready)
+        return future
+
+    def submit_many(self, specs: Sequence[QuerySpec]) -> list[Future]:
+        """Submit a sequence of specs; returns their futures in order.
+
+        Admission is per spec: an overload shed raises after the
+        already-admitted prefix was accepted (those futures stay live).
+        """
+        return [self.submit(spec) for spec in specs]
+
+    def handle(self) -> "ServerHandle":
+        """A synchronous client facade bound to this server."""
+        return ServerHandle(self)
+
+    def async_handle(self) -> "AsyncServerHandle":
+        """An ``asyncio`` client facade bound to this server."""
+        return AsyncServerHandle(self)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Server-wide statistics snapshot (scheduler, latencies, workers)."""
+        snapshot = self._stats.snapshot()
+        with self._lock:
+            snapshot["scheduler"] = {
+                "queued": len(self._batcher),
+                "in_flight": len(self._futures),
+                "epoch": self._epoch,
+                "snapshot_path": self._path,
+            }
+        snapshot["workers_alive"] = sum(p.is_alive() for p in self._workers)
+        return snapshot
+
+    @property
+    def epoch(self) -> int:
+        """The generation token batches are currently stamped with."""
+        with self._lock:
+            return self._epoch
+
+    @property
+    def snapshot_path(self) -> str:
+        """Path of the snapshot batches are currently answered from."""
+        with self._lock:
+            return self._path
+
+    # ------------------------------------------------------------------
+    # hot-swap
+    # ------------------------------------------------------------------
+    def swap_snapshot(self, path, epoch: int | None = None) -> int:
+        """Re-point dispatch at an already-persisted snapshot.
+
+        The file is probed first (unreadable or dimension-mismatched
+        snapshots are rejected before any worker sees them).  Workers
+        finish their in-flight batch on the old mapping, then remap when
+        the first batch stamped with the new epoch reaches them.
+        Returns the new epoch.
+        """
+        probe = FlatRTree.load(path, mmap_mode="r")
+        if probe.dims != self._dims:
+            raise ValueError(
+                f"snapshot {path!r} is {probe.dims}-d; this server serves "
+                f"{self._dims}-d queries"
+            )
+        generation = probe.generation
+        del probe
+        with self._lock:
+            self._epoch = int(epoch) if epoch is not None else max(self._epoch + 1, generation)
+            self._path = str(path)
+            new_epoch = self._epoch
+        self._stats.record_swap()
+        return new_epoch
+
+    def publish_snapshot(self, source) -> int:
+        """Persist a successor snapshot next to the current one and swap to it.
+
+        ``source`` is a :class:`FlatRTree` or anything with a
+        ``snapshot()`` method returning one (a :class:`GNNEngine`).  The
+        file is written as ``<current stem>-gen<N>.npz`` with the next
+        generation token, then :meth:`swap_snapshot` makes it current.
+        """
+        flat = source if isinstance(source, FlatRTree) else source.snapshot()
+        if not isinstance(flat, FlatRTree):
+            raise TypeError(
+                f"publish_snapshot expects a FlatRTree or an engine, got "
+                f"{type(source).__name__}"
+            )
+        with self._lock:
+            next_epoch = self._epoch + 1
+        current = Path(self._path)
+        stem = current.stem.split("-gen")[0]
+        path = current.parent / f"{stem}-gen{next_epoch:06d}.npz"
+        flat.save(path, generation=next_epoch)
+        return self.swap_snapshot(path, epoch=next_epoch)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: drain, wait, stop workers, fail leftovers.
+
+        Queued requests are dispatched and awaited up to ``timeout``
+        seconds; workers then receive one shutdown sentinel each and are
+        joined (terminated if they overrun).  Futures still unresolved
+        after that fail with :class:`ServingError`.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        with self._cond:
+            leftovers = self._batcher.drain()
+            self._cond.notify_all()
+        for batch in leftovers:
+            self._dispatch(batch)
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._futures:
+                    break
+            if not any(process.is_alive() for process in self._workers):
+                break
+            time.sleep(0.005)
+
+        for _ in self._workers:
+            self._requests.put(SHUTDOWN)
+        join_deadline = time.monotonic() + max(1.0, deadline - time.monotonic())
+        for process in self._workers:
+            process.join(timeout=max(0.1, join_deadline - time.monotonic()))
+        for process in self._workers:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+
+        self._reply_stop.set()
+        self._timer_thread.join(timeout=5.0)
+        self._reply_thread.join(timeout=5.0)
+
+        now = time.monotonic()
+        with self._lock:
+            unresolved = [
+                (future, self._submit_times.get(request_id, now))
+                for request_id, future in self._futures.items()
+            ]
+            self._futures.clear()
+            self._submit_times.clear()
+        for future, submitted in unresolved:
+            if not future.done():
+                self._stats.record_outcome(now - submitted, failed=True)
+                future.set_exception(
+                    ServingError("server closed before the request completed")
+                )
+        # Unstick the queue feeder threads so interpreter exit never hangs.
+        for q in (self._requests, self._replies):
+            q.close()
+            q.cancel_join_thread()
+
+    def __enter__(self) -> "GNNServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        alive = sum(p.is_alive() for p in self._workers)
+        return (
+            f"GNNServer(workers={alive}/{len(self._workers)}, "
+            f"epoch={self._epoch}, snapshot={self._path!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _plan(self, spec: QuerySpec):
+        signature = spec.plan_signature()
+        plan = self._plan_cache.get(signature)
+        if plan is None:
+            if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+                self._plan_cache.clear()
+            plan = self._plan_cache[signature] = self._planner.plan(spec)
+        return plan
+
+    def _dispatch(self, items: list) -> None:
+        with self._lock:
+            epoch, path = self._epoch, self._path
+        self._requests.put(BatchRequest(epoch=epoch, snapshot_path=path, items=tuple(items)))
+
+    def _timer_loop(self) -> None:
+        """Flush window-expired buckets; exits once closed and drained."""
+        while True:
+            with self._cond:
+                if self._closed.is_set() and len(self._batcher) == 0:
+                    return
+                deadline = self._batcher.next_deadline()
+                now = time.monotonic()
+                if deadline is None:
+                    self._cond.wait(timeout=0.1)
+                elif deadline > now:
+                    self._cond.wait(timeout=deadline - now)
+                due = self._batcher.due(time.monotonic())
+            for batch in due:
+                self._dispatch(batch)
+
+    def _reply_loop(self) -> None:
+        """Resolve futures from worker replies; exits when stopped and idle."""
+        while True:
+            try:
+                reply = self._replies.get(timeout=0.05)
+            except queue.Empty:
+                if self._reply_stop.is_set():
+                    return
+                with self._lock:
+                    pending = bool(self._futures)
+                if pending and not any(p.is_alive() for p in self._workers):
+                    # Every worker died with requests in flight: fail them
+                    # all rather than letting clients wait forever.
+                    now = time.monotonic()
+                    with self._lock:
+                        dead = [
+                            (future, self._submit_times.get(request_id, now))
+                            for request_id, future in self._futures.items()
+                        ]
+                        self._futures.clear()
+                        self._submit_times.clear()
+                    for future, submitted in dead:
+                        if not future.done():
+                            self._stats.record_outcome(now - submitted, failed=True)
+                            future.set_exception(
+                                ServingError("all serving workers exited unexpectedly")
+                            )
+                continue
+            except (EOFError, OSError):
+                return
+            self._stats.record_reply(reply.worker_id, reply.counters)
+            now = time.monotonic()
+            for request_id, result, error in reply.items:
+                with self._lock:
+                    future = self._futures.pop(request_id, None)
+                    submitted = self._submit_times.pop(request_id, None)
+                if future is None:
+                    continue
+                latency = now - submitted if submitted is not None else 0.0
+                if error is not None:
+                    self._stats.record_outcome(latency, failed=True)
+                    future.set_exception(ServingError(error))
+                else:
+                    self._stats.record_outcome(latency)
+                    future.set_result(result)
+
+
+class ServerHandle:
+    """Synchronous client facade over a :class:`GNNServer`.
+
+    The handle is what application code should hold: it exposes
+    ``submit`` (future), ``submit_many`` (futures) and the blocking
+    conveniences ``run`` / ``run_many``, plus the server's stats.
+    """
+
+    def __init__(self, server: GNNServer):
+        self._server = server
+
+    def submit(self, spec: QuerySpec) -> Future:
+        """Submit one spec; returns its future."""
+        return self._server.submit(spec)
+
+    def submit_many(self, specs: Sequence[QuerySpec]) -> list[Future]:
+        """Submit many specs; returns their futures in order."""
+        return self._server.submit_many(specs)
+
+    def run(self, spec: QuerySpec, timeout: float | None = None) -> GNNResult:
+        """Submit one spec and block for its result."""
+        return self._server.submit(spec).result(timeout=timeout)
+
+    def run_many(
+        self, specs: Sequence[QuerySpec], timeout: float | None = None
+    ) -> list[GNNResult]:
+        """Submit many specs and block for all results (input order)."""
+        futures = self._server.submit_many(specs)
+        return [future.result(timeout=timeout) for future in futures]
+
+    def stats(self) -> dict:
+        """The server's statistics snapshot."""
+        return self._server.stats()
+
+
+class AsyncServerHandle:
+    """``asyncio`` client facade: awaitable submission over the same server.
+
+    The server stays thread-and-process based; this wrapper only bridges
+    its ``concurrent.futures`` futures into the running event loop, so
+    an async application can ``await handle.submit(spec)`` without
+    blocking the loop while workers execute.
+    """
+
+    def __init__(self, server: GNNServer):
+        self._server = server
+
+    async def submit(self, spec: QuerySpec) -> GNNResult:
+        """Submit one spec and await its result."""
+        import asyncio
+
+        return await asyncio.wrap_future(self._server.submit(spec))
+
+    async def submit_many(self, specs: Sequence[QuerySpec]) -> list[GNNResult]:
+        """Submit many specs and await all results (input order)."""
+        import asyncio
+
+        futures = [asyncio.wrap_future(f) for f in self._server.submit_many(specs)]
+        return list(await asyncio.gather(*futures))
+
+    def stats(self) -> dict:
+        """The server's statistics snapshot."""
+        return self._server.stats()
+
+
+# Re-exported for os.cpu_count-based sizing in examples/benchmarks.
+def default_worker_count() -> int:
+    """A reasonable worker count for this machine (cpu count, min 1)."""
+    return max(1, os.cpu_count() or 1)

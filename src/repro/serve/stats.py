@@ -1,0 +1,199 @@
+"""Serving statistics: per-worker counters merged into a server-wide view.
+
+Each worker accumulates nothing globally — it attaches a small
+:class:`ServingCounters` *delta* to every :class:`~repro.serve.protocol.BatchReply`
+(a plain snapshot dictionary on the wire).  The server folds the deltas
+into one :class:`ServingCounters` per worker and exposes the merged
+picture through :meth:`ServerStats.snapshot`, alongside scheduler-side
+counts (submitted / completed / shed / failed / swaps) and request
+latency percentiles over a bounded reservoir of recent requests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.storage.counters import merge_snapshots
+
+#: How many recent request latencies the percentile reservoir keeps.
+LATENCY_RESERVOIR = 8192
+
+#: Percentiles reported by :meth:`ServerStats.snapshot`.
+LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        return float("nan")
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil(len * q / 100)
+    return float(ordered[int(rank) - 1])
+
+
+@dataclass
+class ServingCounters:
+    """Mergeable execution counters of one worker (or one batch delta).
+
+    All fields sum under :meth:`merge` except ``largest_batch``, which
+    takes the maximum — exactly the semantics a server-wide rollup
+    needs.  ``snapshot()`` dictionaries are the wire format; they merge
+    with the same rules, so worker deltas can be folded in any order.
+    """
+
+    requests: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    node_accesses: int = 0
+    leaf_accesses: int = 0
+    distance_computations: int = 0
+    cpu_time: float = 0.0
+    io_stall_s: float = 0.0
+    snapshot_swaps: int = 0
+
+    def record_batch(
+        self,
+        batch_size: int,
+        cpu_time: float = 0.0,
+        io_stall_s: float = 0.0,
+        index_stats_delta: dict | None = None,
+    ) -> None:
+        """Fold one executed batch into the counters.
+
+        ``index_stats_delta`` is the *physical* index work of the batch
+        (a :meth:`~repro.rtree.stats.TreeStats.snapshot` delta across
+        the ``execute_many`` call), so a shared-traversal bucket charges
+        its one traversal once — not once per member, as summing the
+        bucket-level per-result costs would.
+        """
+        self.requests += int(batch_size)
+        self.batches += 1
+        self.largest_batch = max(self.largest_batch, int(batch_size))
+        self.cpu_time += float(cpu_time)
+        self.io_stall_s += float(io_stall_s)
+        if index_stats_delta:
+            self.node_accesses += int(index_stats_delta.get("node_accesses", 0))
+            self.leaf_accesses += int(index_stats_delta.get("leaf_accesses", 0))
+            self.distance_computations += int(
+                index_stats_delta.get("distance_computations", 0)
+            )
+
+    def record_swap(self) -> None:
+        """Charge one snapshot remap (hot-swap observed by the worker)."""
+        self.snapshot_swaps += 1
+
+    def merge(self, other) -> "ServingCounters":
+        """Fold another :class:`ServingCounters` (or snapshot dict) into this one."""
+        snapshot = other if isinstance(other, dict) else other.snapshot()
+        self.largest_batch = max(self.largest_batch, int(snapshot.get("largest_batch", 0)))
+        summed = merge_snapshots(
+            [
+                {k: v for k, v in self.snapshot().items() if k != "largest_batch"},
+                {k: v for k, v in snapshot.items() if k != "largest_batch"},
+            ]
+        )
+        self.requests = int(summed.get("requests", 0))
+        self.batches = int(summed.get("batches", 0))
+        self.node_accesses = int(summed.get("node_accesses", 0))
+        self.leaf_accesses = int(summed.get("leaf_accesses", 0))
+        self.distance_computations = int(summed.get("distance_computations", 0))
+        self.cpu_time = float(summed.get("cpu_time", 0.0))
+        self.io_stall_s = float(summed.get("io_stall_s", 0.0))
+        self.snapshot_swaps = int(summed.get("snapshot_swaps", 0))
+        return self
+
+    def snapshot(self) -> dict:
+        """The counters as a plain (picklable, mergeable) dictionary."""
+        return {
+            "requests": self.requests,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "node_accesses": self.node_accesses,
+            "leaf_accesses": self.leaf_accesses,
+            "distance_computations": self.distance_computations,
+            "cpu_time": self.cpu_time,
+            "io_stall_s": self.io_stall_s,
+            "snapshot_swaps": self.snapshot_swaps,
+        }
+
+
+class ServerStats:
+    """Thread-safe server-wide statistics.
+
+    The scheduler side counts request outcomes (submitted, completed,
+    failed, shed) and snapshot swaps; the execution side keeps one
+    merged :class:`ServingCounters` per worker, folded from the deltas
+    each :class:`~repro.serve.protocol.BatchReply` carries.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.swaps = 0
+        self._workers: dict[int, ServingCounters] = {}
+        self._latencies: deque[float] = deque(maxlen=LATENCY_RESERVOIR)
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def record_submit(self, count: int = 1) -> None:
+        with self._lock:
+            self.submitted += count
+
+    def record_shed(self, count: int = 1) -> None:
+        with self._lock:
+            self.shed += count
+
+    def record_outcome(self, latency_s: float, failed: bool = False) -> None:
+        with self._lock:
+            if failed:
+                self.failed += 1
+            else:
+                self.completed += 1
+            self._latencies.append(latency_s)
+
+    def record_swap(self) -> None:
+        with self._lock:
+            self.swaps += 1
+
+    def record_reply(self, worker_id: int, counters: dict) -> None:
+        with self._lock:
+            mine = self._workers.setdefault(worker_id, ServingCounters())
+            mine.merge(counters)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Server-wide view: scheduler counts, latencies, per-worker + total."""
+        with self._lock:
+            workers = {wid: c.snapshot() for wid, c in sorted(self._workers.items())}
+            latencies = list(self._latencies)
+            # Shed requests are rejected before admission, so they never
+            # count as submitted (and never show up as pending).
+            server = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "shed": self.shed,
+                "swaps": self.swaps,
+                "pending": self.submitted - self.completed - self.failed,
+            }
+        total = ServingCounters()
+        for counters in workers.values():
+            total.merge(counters)
+        latency_ms = {
+            f"p{percent:g}": round(percentile(latencies, percent) * 1000.0, 3)
+            for percent in LATENCY_PERCENTILES
+        }
+        return {
+            "server": server,
+            "latency_ms": latency_ms if latencies else {},
+            "workers": workers,
+            "total": total.snapshot(),
+        }

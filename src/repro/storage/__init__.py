@@ -8,7 +8,7 @@ experiments can report I/O alongside R-tree node accesses.
 """
 
 from repro.storage.buffer import LRUBuffer
-from repro.storage.counters import IOCounters
+from repro.storage.counters import IOCounters, MappedPageCounters, merge_snapshots
 from repro.storage.pager import Page, Pager
 from repro.storage.pointfile import BlockSummary, PointFile, QueryBlock
 
@@ -16,8 +16,10 @@ __all__ = [
     "BlockSummary",
     "IOCounters",
     "LRUBuffer",
+    "MappedPageCounters",
     "Page",
     "Pager",
     "PointFile",
     "QueryBlock",
+    "merge_snapshots",
 ]

@@ -1,11 +1,40 @@
-"""I/O counters for the simulated disk and for memory-mapped snapshots."""
+"""I/O counters for the simulated disk and for memory-mapped snapshots.
+
+All counter classes here expose the same tiny protocol: ``snapshot()``
+returns the counters as a plain numeric dictionary, ``reset()`` zeroes
+them, and ``merge(other)`` folds another instance (or snapshot
+dictionary) into this one.  Snapshots are therefore *mergeable*: the
+serving subsystem ships per-worker snapshots across process boundaries
+and folds them into one server-wide view with :func:`merge_snapshots`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Mapping
 
 #: Default OS page size used to report memory-mapped extents.
 OS_PAGE_BYTES = 4096
+
+
+def merge_snapshots(snapshots: Iterable[Mapping[str, float]]) -> dict[str, float]:
+    """Fold counter snapshot dictionaries into one by key-wise addition.
+
+    Keys missing from some snapshots contribute zero; the result carries
+    the union of all keys.  Integer-only columns stay integers.
+    """
+    merged: dict[str, float] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def _as_snapshot(other) -> Mapping[str, float]:
+    """Normalise a counter object or a plain dictionary to a snapshot."""
+    if isinstance(other, Mapping):
+        return other
+    return other.snapshot()
 
 
 @dataclass
@@ -41,6 +70,14 @@ class IOCounters:
     def record_sort_pass(self) -> None:
         """Charge one external-sort pass."""
         self.sort_passes += 1
+
+    def merge(self, other) -> "IOCounters":
+        """Fold another :class:`IOCounters` (or its snapshot dict) into this one."""
+        snapshot = _as_snapshot(other)
+        self.page_reads += int(snapshot.get("page_reads", 0))
+        self.block_reads += int(snapshot.get("block_reads", 0))
+        self.sort_passes += int(snapshot.get("sort_passes", 0))
+        return self
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain dictionary."""
@@ -79,6 +116,14 @@ class MappedPageCounters:
         self.arrays_mapped += 1
         self.bytes_mapped += nbytes
         self.pages_mapped += -(-nbytes // page_bytes)
+
+    def merge(self, other) -> "MappedPageCounters":
+        """Fold another :class:`MappedPageCounters` (or its snapshot dict) into this one."""
+        snapshot = _as_snapshot(other)
+        self.arrays_mapped += int(snapshot.get("arrays_mapped", 0))
+        self.bytes_mapped += int(snapshot.get("bytes_mapped", 0))
+        self.pages_mapped += int(snapshot.get("pages_mapped", 0))
+        return self
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain dictionary."""

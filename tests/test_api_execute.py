@@ -194,6 +194,54 @@ class TestSharedTraversalBatches:
             assert outcome.record_ids() == single.record_ids()
         assert len(builds) == 2  # per-query execute reuses it too
 
+    def test_insert_invalidation_never_serves_stale_batch_answers(self, rng):
+        """An insert between batches must be visible to the next batch.
+
+        The inserted point sits exactly at each group's centroid, so any
+        stale pre-insert snapshot would provably return wrong answers —
+        the batch path has to rebuild (or fall back), never reuse.
+        """
+        points = rng.uniform(0, 1000, size=(300, 2))
+        engine = GNNEngine(points, capacity=16)
+        center = np.array([444.0, 444.0])
+        specs = [
+            QuerySpec(group=rng.uniform(center - 15, center + 15, size=(4, 2)), k=1)
+            for _ in range(8)
+        ]
+        stale = engine.execute_many(specs)  # materialises the snapshot
+        assert all(outcome.record_ids() != [300] for outcome in stale)
+
+        inserted = engine.insert(center)
+        fresh = engine.execute_many(specs)
+        for spec, outcome in zip(specs, fresh):
+            assert outcome.record_ids() == [inserted]
+            single = engine.execute(spec)
+            assert outcome.record_ids() == single.record_ids()
+            assert outcome.distances() == single.distances()
+
+    def test_context_pins_the_snapshot_for_the_whole_batch(self, small_points, rng):
+        """Between bucketing and execution the context's flat provider
+        must be consulted exactly once — a provider whose answer changes
+        mid-batch (engine-side invalidation) cannot split one batch
+        across two snapshots."""
+        from repro.api.executor import ExecutionContext, execute_batch
+
+        engine = GNNEngine(small_points, capacity=16, snapshot=False)
+        calls = []
+
+        def provider():
+            calls.append(1)
+            return FlatRTree.from_tree(engine.tree)
+
+        context = ExecutionContext(
+            tree=engine.tree, points=engine.points, flat_provider=provider
+        )
+        specs = self._specs(rng, count=12)
+        results = execute_batch(context, specs)
+        assert len(calls) == 1
+        for spec, outcome in zip(specs, results):
+            assert outcome.record_ids() == engine.execute(spec).record_ids()
+
     def test_mixed_ks_bucket_separately_with_identical_answers(self, engine, rng):
         specs = []
         for k in (1, 4, 8, 4, 1, 8, 4, 1):

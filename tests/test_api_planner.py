@@ -103,6 +103,27 @@ class TestCapabilityChecks:
                 QuerySpec(group=GROUP, algorithm="mbm", options={"use_heuristic_3": False})
             )
 
+    def test_unknown_option_error_lists_valid_names_and_suggests(self):
+        """The plan-time error must name every valid option for the
+        chosen algorithm, suggest the closest match for the offender,
+        and mention the always-accepted file-geometry options."""
+        planner = QueryPlanner()
+        with pytest.raises(ValueError) as excinfo:
+            planner.plan(
+                QuerySpec(group=GROUP, algorithm="mbm", options={"use_heuristic_3": False})
+            )
+        message = str(excinfo.value)
+        assert "'traversal'" in message and "'use_heuristic3'" in message
+        assert "did you mean" in message and "use_heuristic3" in message
+        assert "points_per_page" in message and "block_pages" in message
+
+    def test_unknown_option_error_for_optionless_algorithm(self):
+        planner = QueryPlanner()
+        with pytest.raises(ValueError, match="takes no algorithm options"):
+            planner.plan(
+                QuerySpec(group=GROUP, algorithm="mqm", options={"window": 3})
+            )
+
     def test_gcp_needs_raw_points(self, rng):
         file = PointFile(rng.uniform(0, 1, size=(30, 2)), points_per_page=10, block_pages=1)
         planner = QueryPlanner()

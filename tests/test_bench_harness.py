@@ -209,8 +209,9 @@ class TestBaselineCompare:
     """The --compare regression gate over baseline documents."""
 
     @staticmethod
-    def _document(mqm=3.0, mbm=2.9, batch=4.5):
+    def _document(mqm=3.0, mbm=2.9, batch=4.5, serving=2.6, schema=3):
         return {
+            "schema": schema,
             "memory_fig5_1": {
                 "algorithms": {
                     "MQM": {"flat_speedup": mqm},
@@ -218,6 +219,7 @@ class TestBaselineCompare:
                 }
             },
             "batch_flat": {"batch_speedup": batch},
+            "serving": {"throughput_speedup_4w_vs_1w": serving},
         }
 
     def test_collect_speedups_flattens_every_ratio(self):
@@ -228,6 +230,7 @@ class TestBaselineCompare:
             "flat_speedup/MBM": 2.9,
             "flat_speedup/MQM": 3.0,
             "batch_speedup": 4.5,
+            "serving_speedup": 2.6,
         }
 
     def test_identical_documents_pass(self):
@@ -262,8 +265,65 @@ class TestBaselineCompare:
         failures = compare_baseline(current, reference)
         assert failures == ["batch_speedup: missing from the current measurement"]
 
+    def test_serving_regression_is_gated(self):
+        from repro.bench.baseline import compare_baseline
+
+        reference = self._document(serving=2.6)
+        current = self._document(serving=1.2)
+        failures = compare_baseline(current, reference)
+        assert any("serving_speedup" in failure for failure in failures)
+
+    def test_older_schema_baseline_warns_but_does_not_fail(self):
+        """--compare against a schema-2 baseline (no serving section)
+        must tolerate the missing sections: warn, don't crash or fail."""
+        from repro.bench.baseline import baseline_warnings, compare_baseline
+
+        reference = self._document(schema=2)
+        del reference["serving"]
+        current = self._document()
+        assert compare_baseline(current, reference) == []
+        warnings = baseline_warnings(current, reference)
+        assert any("schema" in warning for warning in warnings)
+        assert any("serving_speedup" in warning for warning in warnings)
+
+    def test_same_schema_no_warnings(self):
+        from repro.bench.baseline import baseline_warnings
+
+        document = self._document()
+        assert baseline_warnings(document, document) == []
+
     def test_cli_compare_requires_quick(self, capsys):
         from repro.bench.__main__ import main
 
         assert main(["--compare", "whatever.json"]) == 2
         assert "--compare requires --quick" in capsys.readouterr().err
+
+
+class TestBaselineWrite:
+    """Atomic persistence of BENCH_quick.json."""
+
+    def test_write_json_atomic_roundtrips(self, tmp_path):
+        import json
+
+        from repro.bench.baseline import write_json_atomic
+
+        path = tmp_path / "baseline.json"
+        write_json_atomic(str(path), {"schema": 3, "value": 1.5})
+        assert json.loads(path.read_text(encoding="utf-8")) == {"schema": 3, "value": 1.5}
+
+    def test_interrupted_write_never_truncates_existing_file(self, tmp_path):
+        """A failure mid-write must leave the previous complete file (and
+        no temp litter) behind — never a truncated baseline."""
+        import json
+
+        from repro.bench.baseline import write_json_atomic
+
+        path = tmp_path / "baseline.json"
+        write_json_atomic(str(path), {"schema": 3, "generation": 1})
+        with pytest.raises(TypeError):
+            write_json_atomic(str(path), {"bad": object()})  # not JSON-serialisable
+        assert json.loads(path.read_text(encoding="utf-8")) == {
+            "schema": 3,
+            "generation": 1,
+        }
+        assert list(tmp_path.iterdir()) == [path]

@@ -13,6 +13,7 @@ from repro.datasets.synthetic import (
 from repro.datasets.workload import (
     WorkloadSpec,
     generate_query_group,
+    generate_request_trace,
     generate_workload,
     place_with_overlap,
     scale_into_workspace,
@@ -158,6 +159,79 @@ class TestWorkloadGeneration:
         spec = WorkloadSpec(n=64, mbr_fraction=0.08, k=8, queries=100)
         text = spec.describe()
         assert "n=64" in text and "8%" in text and "k=8" in text
+
+
+class TestRequestTrace:
+    """The seeded Poisson/Zipf serving trace generator."""
+
+    @staticmethod
+    def _trace(**overrides):
+        data = uniform_points(800, seed=3)
+        settings = dict(
+            requests=300,
+            rate_per_s=200.0,
+            n=6,
+            mbr_fraction=0.08,
+            k=4,
+            hotspots=8,
+            zipf_exponent=2.0,
+            seed=42,
+        )
+        settings.update(overrides)
+        return data, generate_request_trace(data, **settings)
+
+    def test_same_seed_reproduces_the_trace_exactly(self):
+        _, first = self._trace()
+        _, second = self._trace()
+        assert len(first) == len(second) == 300
+        for left, right in zip(first, second):
+            assert left.arrival_s == right.arrival_s
+            assert left.hotspot == right.hotspot
+            assert np.array_equal(left.group, right.group)
+
+    def test_different_seed_differs(self):
+        _, first = self._trace()
+        _, second = self._trace(seed=43)
+        assert first[0].arrival_s != second[0].arrival_s
+
+    def test_arrivals_are_increasing_at_roughly_the_requested_rate(self):
+        _, trace = self._trace()
+        arrivals = [request.arrival_s for request in trace]
+        assert all(later > earlier for earlier, later in zip(arrivals, arrivals[1:]))
+        # 300 arrivals at 200/s take ~1.5s; Poisson noise stays well
+        # within a factor of two at this sample size.
+        assert 0.75 < arrivals[-1] < 3.0
+
+    def test_zipf_skews_traffic_toward_the_first_hotspots(self):
+        _, trace = self._trace()
+        counts = np.bincount([request.hotspot for request in trace], minlength=8)
+        assert counts[0] > counts[-1]
+        assert counts[0] >= 0.4 * len(trace)  # exponent 2.0 is heavily skewed
+
+    def test_groups_have_requested_shape_inside_the_workspace(self):
+        data, trace = self._trace()
+        workspace = MBR.from_points(data)
+        for request in trace[:50]:
+            assert request.group.shape == (6, 2)
+            assert request.k == 4
+            assert workspace.contains(MBR.from_points(request.group))
+
+    def test_invalid_parameters_rejected(self):
+        data = uniform_points(100, seed=0)
+        for overrides in (
+            {"requests": 0},
+            {"rate_per_s": 0.0},
+            {"hotspots": 0},
+            {"zipf_exponent": -1.0},
+            {"n": 0},
+            {"mbr_fraction": 0.0},
+        ):
+            settings = dict(
+                requests=10, rate_per_s=10.0, n=2, mbr_fraction=0.1, k=1
+            )
+            settings.update(overrides)
+            with pytest.raises(ValueError):
+                generate_request_trace(data, **settings)
 
 
 class TestWorkspacePlacement:
