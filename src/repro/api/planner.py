@@ -31,7 +31,7 @@ from repro.api.registry import (
     available_algorithms,
     get_algorithm,
 )
-from repro.api.spec import AUTO, FLAT, MEMORY, OBJECT, QuerySpec
+from repro.api.spec import AUTO, FLAT, INDEXES, MEMORY, OBJECT, SHARDED, QuerySpec
 
 #: Block-count threshold below which the auto policy prefers F-MQM; the
 #: paper's PP-as-query experiments (3 blocks) favour F-MQM while the
@@ -208,13 +208,29 @@ class QueryPlanner:
         A spec demanding ``index="flat"`` fails here — at plan time,
         with the reason named — when the combination can never run over
         a snapshot: a disk-resident group, an algorithm without a flat
-        traversal, or a depth-first option.
+        traversal, or a depth-first option.  ``index="sharded"`` is only
+        plannable by a coordinator-backed engine
+        (:class:`repro.shard.ShardedEngine`); every other engine rejects
+        it here with the valid alternatives named.
         """
         flat_capable = (
             residency == MEMORY
             and info.supports_flat
             and options.get("traversal", "best_first") == "best_first"
         )
+        if spec.index == SHARDED:
+            if getattr(self.engine, "coordinator", None) is None:
+                valid = [name for name in INDEXES if name != SHARDED]
+                raise ValueError(
+                    "index='sharded' needs a coordinator-backed engine, but "
+                    "this engine serves a single index (valid index values "
+                    f"here: {valid}); partition the dataset with "
+                    "repro.shard.partition_dataset, start shard nodes, and "
+                    "query through repro.shard.ShardedEngine"
+                )
+            # Shard workers traverse their own flat snapshots; the
+            # coordinator-backed engine validates servability on top.
+            return flat_capable
         if spec.index == FLAT and not flat_capable:
             if residency != MEMORY:
                 reason = "disk-resident groups always traverse the object R-tree"

@@ -41,10 +41,14 @@ RESIDENCIES = (AUTO, MEMORY, DISK)
 #: Valid index preferences: ``auto`` lets the planner route
 #: memory-resident queries through a flat snapshot when the engine
 #: holds one, ``flat`` demands the snapshot, ``object`` pins the query
-#: to the dynamic object tree.
+#: to the dynamic object tree, and ``sharded`` routes through a
+#: federation of shard snapshots (requires a coordinator-backed engine,
+#: :class:`repro.shard.ShardedEngine`; planning fails actionably on any
+#: other engine).
 FLAT = "flat"
 OBJECT = "object"
-INDEXES = (AUTO, FLAT, OBJECT)
+SHARDED = "sharded"
+INDEXES = (AUTO, FLAT, OBJECT, SHARDED)
 
 
 @dataclass(frozen=True, eq=False)
@@ -82,8 +86,11 @@ class QuerySpec:
         ``"auto"`` (default: the planner routes memory-resident queries
         through the engine's flat snapshot when one is available),
         ``"flat"`` (require the flat snapshot; planning or execution
-        fails if the algorithm or engine cannot provide it) or
-        ``"object"`` (always traverse the dynamic object tree).
+        fails if the algorithm or engine cannot provide it),
+        ``"object"`` (always traverse the dynamic object tree) or
+        ``"sharded"`` (scatter-gather over a shard federation; only a
+        coordinator-backed :class:`repro.shard.ShardedEngine` can plan
+        it).
     trace:
         When True the executor attaches the full :class:`QueryPlan`
         (algorithm choice, rationale, cost estimate) to the result as

@@ -123,6 +123,16 @@ def main(argv=None) -> int:
             f"  serve  4-worker throughput speedup over 1 worker: "
             f"{serving['throughput_speedup_4w_vs_1w']:.2f}x"
         )
+        sharded = document["sharded"]
+        for shards, row in sorted(sharded["shards"].items(), key=lambda kv: int(kv[0])):
+            print(
+                f"  shard  {shards} shard(s)  {row['throughput_rps']:8.1f} req/s   "
+                f"contact rate {row['shard_contact_rate']:.0%}"
+            )
+        print(
+            f"  shard  4-shard throughput speedup over 1 shard: "
+            f"{sharded['throughput_speedup_4s_vs_1s']:.2f}x"
+        )
         if args.compare is not None:
             with open(args.compare, "r", encoding="utf-8") as handle:
                 reference = json.load(handle)

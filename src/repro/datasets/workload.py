@@ -132,7 +132,7 @@ class TraceRequest:
 
 
 def generate_request_trace(
-    data_points: np.ndarray,
+    data_points: np.ndarray | None = None,
     *,
     requests: int,
     rate_per_s: float,
@@ -142,6 +142,7 @@ def generate_request_trace(
     hotspots: int = 16,
     zipf_exponent: float = 1.1,
     seed: int = 0,
+    extent: MBR | tuple | None = None,
 ) -> list[TraceRequest]:
     """Seeded Poisson/Zipf request trace for serving experiments.
 
@@ -155,6 +156,16 @@ def generate_request_trace(
     ``i`` with probability proportional to ``(i + 1) ** -zipf_exponent``
     (a Zipf law, so a few boxes receive most of the traffic), then draws
     its ``n`` points uniformly inside that box.
+
+    The workspace the hotspots are placed in defaults to the bounding
+    box of ``data_points``; ``extent`` overrides it with an explicit
+    :class:`~repro.geometry.mbr.MBR` (or ``(low, high)`` pair), which is
+    how per-shard-skewed traces are generated — pass one shard's root
+    MBR from a :class:`repro.shard.ShardManifest` and every hotspot
+    lands inside that shard's territory.  Exactly one of ``data_points``
+    and ``extent`` is required (both together use ``extent``); traces
+    generated without ``extent`` are byte-identical to those of earlier
+    versions for the same ``seed``.
 
     The trace is fully determined by ``seed``: replaying it against two
     server configurations compares them on identical work.
@@ -171,8 +182,15 @@ def generate_request_trace(
         raise ValueError("n must be positive")
     if not 0.0 < mbr_fraction <= 1.0:
         raise ValueError("mbr_fraction must be in (0, 1]")
-    pts = as_points(data_points)
-    data_mbr = MBR.from_points(pts)
+    if extent is not None:
+        data_mbr = extent if isinstance(extent, MBR) else MBR(extent[0], extent[1])
+    elif data_points is not None:
+        data_mbr = MBR.from_points(as_points(data_points))
+    else:
+        raise ValueError(
+            "generate_request_trace needs a workspace: pass data_points "
+            "(its bounding box is used) or an explicit extent"
+        )
     rng = np.random.default_rng(seed)
 
     arrivals = np.cumsum(rng.exponential(1.0 / rate_per_s, size=requests))

@@ -26,6 +26,25 @@ from repro.rtree.entry import ChildEntry, LeafEntry
 from repro.rtree.node import Node
 
 
+def _resolve_record_ids(count: int, record_ids) -> np.ndarray:
+    """Validate caller-supplied record ids (default: the row indices).
+
+    Horizontal sharding is the motivating caller: a shard packs the rows
+    ``points[global_rows]`` but must keep the *global* row numbers as
+    record ids, so federated answers merge against the same identifier
+    space as a single index over the whole dataset.
+    """
+    if record_ids is None:
+        return np.arange(count, dtype=np.int64)
+    ids = np.asarray(record_ids, dtype=np.int64)
+    if ids.ndim != 1 or ids.shape[0] != count:
+        raise ValueError(
+            f"record_ids must be a flat vector with one id per point "
+            f"({count}), got shape {ids.shape}"
+        )
+    return ids
+
+
 def _pack_upwards(nodes: list[Node], capacity: int) -> Node:
     """Group ``nodes`` into parents level by level until one root remains."""
     level = nodes[0].level
@@ -42,7 +61,7 @@ def _pack_upwards(nodes: list[Node], capacity: int) -> Node:
     return nodes[0]
 
 
-def str_pack(points: np.ndarray, capacity: int) -> Node:
+def str_pack(points: np.ndarray, capacity: int, record_ids=None) -> Node:
     """Bulk load points with the Sort-Tile-Recursive strategy.
 
     Points are sorted by the first coordinate, cut into vertical slabs of
@@ -54,6 +73,7 @@ def str_pack(points: np.ndarray, capacity: int) -> Node:
     """
     pts = as_points(points)
     count = pts.shape[0]
+    ids = _resolve_record_ids(count, record_ids)
     leaf_count = math.ceil(count / capacity)
     slab_count = max(1, math.ceil(math.sqrt(leaf_count)))
     per_slab = math.ceil(count / slab_count)
@@ -67,34 +87,37 @@ def str_pack(points: np.ndarray, capacity: int) -> Node:
         for leaf_start in range(0, slab_ids.size, capacity):
             chunk = slab_ids[leaf_start : leaf_start + capacity]
             leaf = Node(0)
-            for record_id in chunk:
-                leaf.add(LeafEntry(pts[record_id], int(record_id)))
+            for row in chunk:
+                leaf.add(LeafEntry(pts[row], int(ids[row])))
             leaves.append(leaf)
     return _pack_upwards(leaves, capacity)
 
 
-def pack(points: np.ndarray, capacity: int, method: str = "str") -> Node:
+def pack(points: np.ndarray, capacity: int, method: str = "str", record_ids=None) -> Node:
     """Bulk load with a named packing strategy (``"str"`` or ``"hilbert"``).
 
     The single entry point shared by ``RTree.bulk_load`` and
     ``FlatRTree.bulk_load``, so both index flavours accept exactly the
     same methods and fail with the same message on a typo.
+    ``record_ids`` optionally replaces the default row-index ids (one id
+    per point) — the sharding partitioner passes global row numbers.
     """
     if method not in PACKERS:
         raise ValueError(f"unknown bulk-load method {method!r}")
-    return PACKERS[method](points, capacity)
+    return PACKERS[method](points, capacity, record_ids=record_ids)
 
 
-def hilbert_pack(points: np.ndarray, capacity: int) -> Node:
+def hilbert_pack(points: np.ndarray, capacity: int, record_ids=None) -> Node:
     """Bulk load points in Hilbert-curve order."""
     pts = as_points(points)
+    ids = _resolve_record_ids(pts.shape[0], record_ids)
     order = hilbert_sort(pts)
     leaves: list[Node] = []
     for start in range(0, order.size, capacity):
         chunk = order[start : start + capacity]
         leaf = Node(0)
-        for record_id in chunk:
-            leaf.add(LeafEntry(pts[record_id], int(record_id)))
+        for row in chunk:
+            leaf.add(LeafEntry(pts[row], int(ids[row])))
         leaves.append(leaf)
     return _pack_upwards(leaves, capacity)
 

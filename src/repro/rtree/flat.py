@@ -201,17 +201,22 @@ class FlatRTree:
 
     @classmethod
     def bulk_load(
-        cls, points, capacity: int = 50, method: str = "str", buffer=None
+        cls, points, capacity: int = 50, method: str = "str", buffer=None, record_ids=None
     ) -> "FlatRTree":
         """Pack a static point set straight into a flat snapshot.
 
         Runs the same STR/Hilbert packer as ``RTree.bulk_load`` and
         flattens the result, so the snapshot is structurally identical
-        to ``FlatRTree.from_tree(RTree.bulk_load(...))``.
+        to ``FlatRTree.from_tree(RTree.bulk_load(...))``.  ``record_ids``
+        optionally replaces the default row-index ids — shard snapshots
+        carry global row numbers so federated answers merge in the same
+        identifier space as a single whole-dataset index.
         """
         from repro.rtree.tree import RTree
 
-        tree = RTree.bulk_load(points, capacity=capacity, method=method, buffer=buffer)
+        tree = RTree.bulk_load(
+            points, capacity=capacity, method=method, buffer=buffer, record_ids=record_ids
+        )
         return cls.from_tree(tree, buffer=buffer)
 
     # ------------------------------------------------------------------
@@ -251,6 +256,20 @@ class FlatRTree:
     def node_count(self) -> int:
         """Total number of nodes (API parity with :class:`RTree`)."""
         return self.num_nodes
+
+    def root_mbr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The root MBR as plain ``(low, high)`` float64 copies.
+
+        This is the bound a federation coordinator prunes on: the root
+        row covers every point of the snapshot, so ``amindist(root, Q)``
+        lower-bounds the aggregate distance of any record the shard
+        could contribute.  Copies (not memmap views) are returned so the
+        manifest stays valid after the mapping is closed.
+        """
+        return (
+            np.array(self.lows[0], dtype=np.float64),
+            np.array(self.highs[0], dtype=np.float64),
+        )
 
     def points_by_record_id(self) -> np.ndarray | None:
         """The dataset in record-id order, or None when ids are not 0..N-1.

@@ -94,15 +94,18 @@ class RTree:
         method: str = "str",
         buffer=None,
         split: str = "rstar",
+        record_ids=None,
     ) -> "RTree":
         """Build a packed tree over a static point set.
 
         ``method`` selects the packing strategy (``"str"`` or
-        ``"hilbert"``).  Record ids are the row indices of ``points``.
+        ``"hilbert"``).  Record ids default to the row indices of
+        ``points``; ``record_ids`` overrides them (the sharding
+        partitioner keeps each shard's *global* row numbers this way).
         """
         pts = as_points(points)
         tree = cls(dims=pts.shape[1], capacity=capacity, buffer=buffer, split=split)
-        tree.root = pack(pts, capacity, method=method)
+        tree.root = pack(pts, capacity, method=method, record_ids=record_ids)
         tree.size = pts.shape[0]
         tree._strict_fill = False
         return tree

@@ -23,6 +23,8 @@ reason named — not deep inside a worker.
 
 from __future__ import annotations
 
+import pickle
+import struct
 from dataclasses import dataclass
 from typing import Any
 
@@ -34,6 +36,15 @@ from repro.core.types import GNNResult
 
 #: Shutdown sentinel put on the request queue, one per worker.
 SHUTDOWN = None
+
+#: Ceiling on one network frame (header-declared payload length).  A
+#: frame carries one encoded spec or one k-result reply, both tiny; the
+#: cap turns a corrupted or hostile length prefix into a clean error
+#: instead of an attempted multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Big-endian unsigned 32-bit length prefix of every frame.
+_FRAME_HEADER = struct.Struct(">I")
 
 
 @dataclass(frozen=True)
@@ -117,6 +128,70 @@ def encode_spec(spec: QuerySpec) -> dict[str, Any]:
 def decode_spec(payload: dict[str, Any]) -> QuerySpec:
     """Rebuild (and re-validate) a :class:`QuerySpec` from its payload."""
     return QuerySpec(**payload)
+
+
+# ----------------------------------------------------------------------
+# length-prefixed frames (the network transport of repro.shard)
+# ----------------------------------------------------------------------
+def pack_frame(message: Any) -> bytes:
+    """Serialise one message as a length-prefixed pickle frame.
+
+    The shard subsystem speaks this framing over TCP: a 4-byte
+    big-endian payload length followed by the pickled message (specs
+    cross as :func:`encode_spec` payloads, results as
+    :func:`encode_result`-stripped :class:`GNNResult`\\ s).  Pickle is
+    appropriate because both ends of a federation are trusted peers of
+    the same deployment — this is an internal scatter-gather fabric,
+    not a public API surface.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ValueError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame cap"
+        )
+    return _FRAME_HEADER.pack(len(payload)) + payload
+
+
+def unpack_frame(data: bytes) -> Any:
+    """Inverse of :func:`pack_frame` for a complete in-memory frame."""
+    if len(data) < _FRAME_HEADER.size:
+        raise ValueError("truncated frame: missing length prefix")
+    (length,) = _FRAME_HEADER.unpack_from(data)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    if len(data) != _FRAME_HEADER.size + length:
+        raise ValueError(
+            f"frame length prefix says {length} payload bytes, got "
+            f"{len(data) - _FRAME_HEADER.size}"
+        )
+    return pickle.loads(data[_FRAME_HEADER.size :])
+
+
+async def read_frame(reader) -> Any:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns the decoded message, or ``None`` on a clean end-of-stream
+    (the peer closed between frames).  A connection torn mid-frame
+    raises ``ConnectionError`` — the caller must treat the stream as
+    dead either way.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_FRAME_HEADER.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ConnectionError("connection closed mid-frame (truncated header)") from error
+    (length,) = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ConnectionError("connection closed mid-frame (truncated payload)") from error
+    return pickle.loads(payload)
 
 
 def encode_result(result: GNNResult) -> GNNResult:

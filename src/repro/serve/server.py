@@ -132,6 +132,8 @@ class GNNServer:
         self._submit_times: dict[int, float] = {}
         self._next_id = 0
         self._closed = threading.Event()
+        self._close_lock = threading.Lock()
+        self._close_done = threading.Event()
         self._reply_stop = threading.Event()
 
         context = multiprocessing.get_context(start_method or _default_start_method())
@@ -339,57 +341,75 @@ class GNNServer:
         seconds; workers then receive one shutdown sentinel each and are
         joined (terminated if they overrun).  Futures still unresolved
         after that fail with :class:`ServingError`.
+
+        ``close`` is idempotent and exception-safe: a second call (from
+        any thread, including a concurrent one) waits for the first
+        shutdown to finish instead of re-running it over already-closed
+        queues, a crashed worker or a torn queue never aborts the
+        teardown half-way, and the helper threads are stopped and every
+        in-flight future failed even when an individual step errors —
+        the shard node drives programmatic open/close cycles and relies
+        on this.
         """
-        if self._closed.is_set():
+        with self._close_lock:
+            first_closer = not self._closed.is_set()
+            self._closed.set()
+        if not first_closer:
+            self._close_done.wait(timeout=timeout)
             return
-        self._closed.set()
-        with self._cond:
-            leftovers = self._batcher.drain()
-            self._cond.notify_all()
-        for batch in leftovers:
-            self._dispatch(batch)
+        try:
+            with self._cond:
+                leftovers = self._batcher.drain()
+                self._cond.notify_all()
+            for batch in leftovers:
+                self._try_dispatch(batch)
 
-        deadline = time.monotonic() + timeout
-        while time.monotonic() < deadline:
-            with self._lock:
-                if not self._futures:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._futures:
+                        break
+                if not any(process.is_alive() for process in self._workers):
                     break
-            if not any(process.is_alive() for process in self._workers):
-                break
-            time.sleep(0.005)
+                time.sleep(0.005)
 
-        for _ in self._workers:
-            self._requests.put(SHUTDOWN)
-        join_deadline = time.monotonic() + max(1.0, deadline - time.monotonic())
-        for process in self._workers:
-            process.join(timeout=max(0.1, join_deadline - time.monotonic()))
-        for process in self._workers:
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
+            for _ in self._workers:
+                self._try_put(self._requests, SHUTDOWN)
+            join_deadline = time.monotonic() + max(1.0, deadline - time.monotonic())
+            for process in self._workers:
+                process.join(timeout=max(0.1, join_deadline - time.monotonic()))
+            for process in self._workers:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=1.0)
+        finally:
+            self._reply_stop.set()
+            self._timer_thread.join(timeout=5.0)
+            self._reply_thread.join(timeout=5.0)
 
-        self._reply_stop.set()
-        self._timer_thread.join(timeout=5.0)
-        self._reply_thread.join(timeout=5.0)
-
-        now = time.monotonic()
-        with self._lock:
-            unresolved = [
-                (future, self._submit_times.get(request_id, now))
-                for request_id, future in self._futures.items()
-            ]
-            self._futures.clear()
-            self._submit_times.clear()
-        for future, submitted in unresolved:
-            if not future.done():
-                self._stats.record_outcome(now - submitted, failed=True)
-                future.set_exception(
-                    ServingError("server closed before the request completed")
-                )
-        # Unstick the queue feeder threads so interpreter exit never hangs.
-        for q in (self._requests, self._replies):
-            q.close()
-            q.cancel_join_thread()
+            now = time.monotonic()
+            with self._lock:
+                unresolved = [
+                    (future, self._submit_times.get(request_id, now))
+                    for request_id, future in self._futures.items()
+                ]
+                self._futures.clear()
+                self._submit_times.clear()
+            for future, submitted in unresolved:
+                if not future.done():
+                    self._stats.record_outcome(now - submitted, failed=True)
+                    future.set_exception(
+                        ServingError("server closed before the request completed")
+                    )
+            # Unstick the queue feeder threads so interpreter exit never
+            # hangs; tolerate queues a worker crash already broke.
+            for q in (self._requests, self._replies):
+                try:
+                    q.close()
+                    q.cancel_join_thread()
+                except (OSError, ValueError):
+                    pass
+            self._close_done.set()
 
     def __enter__(self) -> "GNNServer":
         return self
@@ -420,6 +440,26 @@ class GNNServer:
         with self._lock:
             epoch, path = self._epoch, self._path
         self._requests.put(BatchRequest(epoch=epoch, snapshot_path=path, items=tuple(items)))
+
+    def _try_dispatch(self, items: list) -> None:
+        """Best-effort :meth:`_dispatch` for the shutdown path.
+
+        A queue broken by a worker crash (or closed by an earlier,
+        failed close attempt) must not abort the teardown; the affected
+        requests are failed with :class:`ServingError` afterwards.
+        """
+        try:
+            self._dispatch(items)
+        except (OSError, ValueError, AssertionError):
+            pass
+
+    @staticmethod
+    def _try_put(target_queue, item) -> None:
+        """Best-effort queue put, tolerant of broken/closed queues."""
+        try:
+            target_queue.put(item)
+        except (OSError, ValueError, AssertionError):
+            pass
 
     def _timer_loop(self) -> None:
         """Flush window-expired buckets; exits once closed and drained."""

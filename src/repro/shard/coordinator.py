@@ -1,0 +1,476 @@
+"""Scatter-gather coordination over a federation of shard nodes.
+
+:class:`ShardCoordinator` is the query-side half of the sharding
+subsystem: it holds the federation's :class:`ShardManifest`, one
+pipelined TCP link per shard node, and answers GNN queries by the
+paper's best-first discipline *lifted one level up* — shard root MBRs
+play the role of R-tree node MBRs.
+
+The execution of one query is a **sample-seeded wave**:
+
+1. compute ``amindist(root_j, Q)`` for every shard from the manifest
+   (one vectorised kernel call) and order shards by that bound;
+2. seed the global pruning bound ``tau0`` from the manifest's per-shard
+   record samples (:meth:`ShardManifest.sample_kth_distance`) — samples
+   are real records, so their k-th best aggregate distance is a true
+   upper bound on the federation's k-th answer;
+3. **wave** — dispatch, *concurrently*, every shard whose root bound is
+   ``<= tau0``; shards beyond it are never contacted (Heuristic 2 at
+   federation level).  The ``<=`` is what makes one wave sufficient:
+   the record achieving ``tau0`` lives in a shard whose root bound can
+   equal it, so the inclusive wave provably covers the exact top-k;
+4. merge all per-shard top-k lists by ``(distance, record_id)`` and
+   keep the best ``k``.
+
+The loop re-checks with the merged candidates' own k-th distance, but
+with a healthy federation a second wave can never admit new shards:
+the merged k-th distance is at most ``tau0``, and every uncontacted
+shard already failed the larger bound.  So a query costs exactly
+``|shards with bound <= tau0|`` sub-queries, in one concurrent round
+trip — deterministic, which is what lets the tests pin exact
+shards-contacted counts.  A manifest without samples (or with fewer
+than ``k``) degenerates to the serial **pilot-then-wave** fallback:
+contact the best-bound shard alone, take its k-th answer as ``tau``,
+then wave the shards that beat it.
+
+Failure handling: a sub-query gets ``timeout_s`` per attempt and
+``retries`` reconnect-and-resend attempts (overload sheds retry after
+a short backoff).  A shard that stays unreachable raises
+:class:`ShardUnavailableError` — unless the coordinator was built with
+``allow_degraded=True``, in which case the query completes from the
+reachable shards and the result is stamped ``degraded=True`` with the
+dead shards listed (a documented under-approximation, never a wrong
+answer presented as complete).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.api.spec import AUTO, SHARDED, QuerySpec
+from repro.core.types import GNNResult, QueryCost
+from repro.serve.protocol import encode_spec, pack_frame, read_frame
+from repro.shard.manifest import ShardManifest
+from repro.shard.wire import ShardPing, ShardPong, ShardQuery, ShardReply
+
+#: Seconds slept before retrying a sub-query an overloaded node shed.
+OVERLOAD_BACKOFF_S = 0.05
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard node could not be reached (after all retries)."""
+
+
+class ShardQueryError(RuntimeError):
+    """A shard node rejected or failed a sub-query (not a liveness issue)."""
+
+
+@dataclass
+class CoordinatorStats:
+    """Mergeable counters of one coordinator's lifetime.
+
+    ``shards_contacted``/``shards_pruned`` partition every query's
+    shard set (minus failed ones); their ratio is the federation-level
+    pruning rate, the headline number of the scatter-gather design.
+    """
+
+    queries: int = 0
+    subqueries: int = 0
+    shards_contacted: int = 0
+    shards_pruned: int = 0
+    retries: int = 0
+    degraded_queries: int = 0
+    failed_subqueries: int = 0
+    cost: QueryCost = field(default_factory=QueryCost)
+
+    def snapshot(self) -> dict:
+        data = {
+            "queries": self.queries,
+            "subqueries": self.subqueries,
+            "shards_contacted": self.shards_contacted,
+            "shards_pruned": self.shards_pruned,
+            "retries": self.retries,
+            "degraded_queries": self.degraded_queries,
+            "failed_subqueries": self.failed_subqueries,
+        }
+        data["cost"] = self.cost.as_dict()
+        return data
+
+
+def merge_costs(total: QueryCost, part: QueryCost) -> None:
+    """Fold one shard's measured cost into a federation total, in place."""
+    total.node_accesses += part.node_accesses
+    total.leaf_accesses += part.leaf_accesses
+    total.page_faults += part.page_faults
+    total.distance_computations += part.distance_computations
+    total.page_reads += part.page_reads
+    total.block_reads += part.block_reads
+    total.cpu_time += part.cpu_time
+
+
+class _ShardLink:
+    """One pipelined connection to one shard node (lazy, self-healing).
+
+    All methods run on the coordinator's event loop.  Replies are
+    correlated to requests by id, so any number of sub-queries share
+    the connection; a broken stream fails every in-flight future and
+    the next request reconnects (after re-verifying the node's identity
+    against the manifest via the ping handshake).
+    """
+
+    def __init__(self, shard_id: int, expected_generation: int, address):
+        self.shard_id = shard_id
+        self.expected_generation = expected_generation
+        self.address = tuple(address)
+        self._reader = None
+        self._writer = None
+        self._read_task = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._connect_lock = asyncio.Lock()
+        self._write_lock = asyncio.Lock()
+
+    async def _ensure_connected(self) -> None:
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            reader, writer = await asyncio.open_connection(*self.address)
+            ping_id = self._next_id
+            self._next_id += 1
+            writer.write(pack_frame(ShardPing(request_id=ping_id)))
+            await writer.drain()
+            pong = await read_frame(reader)
+            if not isinstance(pong, ShardPong) or pong.request_id != ping_id:
+                writer.close()
+                raise ConnectionError(
+                    f"node at {self.address} did not answer the handshake ping"
+                )
+            if pong.shard_id != self.shard_id:
+                writer.close()
+                raise ConnectionError(
+                    f"node at {self.address} serves shard {pong.shard_id}, "
+                    f"expected shard {self.shard_id}: the address map is miswired"
+                )
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.get_running_loop().create_task(
+                self._read_loop(), name=f"shard-link-{self.shard_id}"
+            )
+
+    #: Outgoing-buffer size past which senders pause on ``drain`` (a
+    #: frame is one atomic ``write``, so the hot path needs no lock and
+    #: no per-frame drain; this bound keeps a slow node from buffering
+    #: unboundedly on the coordinator side).
+    WRITE_HIGH_WATER_BYTES = 1024 * 1024
+
+    async def request(self, payload: dict) -> ShardReply:
+        """Send one sub-query; await its (id-correlated) reply."""
+        await self._ensure_connected()
+        request_id = self._next_id
+        self._next_id += 1
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            writer = self._writer
+            writer.write(
+                pack_frame(ShardQuery(request_id=request_id, payload=payload))
+            )
+            if (
+                writer.transport.get_write_buffer_size()
+                > self.WRITE_HIGH_WATER_BYTES
+            ):
+                async with self._write_lock:
+                    await writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    raise ConnectionError(
+                        f"shard {self.shard_id} closed the connection"
+                    )
+                if isinstance(message, ShardReply):
+                    future = self._pending.get(message.request_id)
+                    if future is not None and not future.done():
+                        future.set_result(message)
+        except (ConnectionError, OSError, ValueError, EOFError) as error:
+            self._teardown(error)
+        except asyncio.CancelledError:
+            self._teardown(ConnectionError(f"link to shard {self.shard_id} closed"))
+            raise
+
+    def _teardown(self, error: Exception) -> None:
+        if self._writer is not None:
+            self._writer.close()
+        self._reader = self._writer = None
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError(f"shard {self.shard_id}: {error}")
+                )
+
+    async def reset(self) -> None:
+        """Drop the connection (if any); the next request reconnects."""
+        task, self._read_task = self._read_task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._teardown(ConnectionError(f"link to shard {self.shard_id} reset"))
+
+
+class ShardCoordinator:
+    """Scatter-gather GNN execution over a federation of shard nodes.
+
+    Parameters
+    ----------
+    manifest:
+        The federation's :class:`ShardManifest` (or a directory / path
+        it loads from).
+    addresses:
+        ``(host, port)`` per shard, indexed by shard id — typically the
+        values returned by each :meth:`ShardNode.start`.
+    timeout_s:
+        Per-attempt deadline of one sub-query.
+    retries:
+        Reconnect-and-resend attempts after the first failure.
+    allow_degraded:
+        When True, queries survive unreachable shards and mark their
+        results ``degraded=True``; when False (default) they raise
+        :class:`ShardUnavailableError`.
+    """
+
+    def __init__(
+        self,
+        manifest,
+        addresses,
+        *,
+        timeout_s: float = 5.0,
+        retries: int = 1,
+        allow_degraded: bool = False,
+    ):
+        if not isinstance(manifest, ShardManifest):
+            manifest = ShardManifest.load(manifest)
+        addresses = list(addresses)
+        if len(addresses) != manifest.shard_count:
+            raise ValueError(
+                f"the manifest describes {manifest.shard_count} shards but "
+                f"{len(addresses)} addresses were given"
+            )
+        if timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.manifest = manifest
+        self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.allow_degraded = bool(allow_degraded)
+        self._stats = CoordinatorStats()
+        self._closed = threading.Event()
+        self._loop = asyncio.new_event_loop()
+        self._links = [
+            _ShardLink(shard.shard_id, manifest.generation, address)
+            for shard, address in zip(manifest.shards, addresses)
+        ]
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="shard-coordinator", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop every link and stop the event loop (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+
+        async def _drop_all() -> None:
+            for link in self._links:
+                await link.reset()
+            # Yield once so transport connection_lost callbacks run
+            # before the loop is stopped (quiet garbage collection).
+            await asyncio.sleep(0)
+
+        try:
+            asyncio.run_coroutine_threadsafe(_drop_all(), self._loop).result(
+                timeout=10.0
+            )
+        except Exception:
+            pass
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        self._loop.close()
+
+    def __enter__(self) -> "ShardCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Lifetime counters (:meth:`CoordinatorStats.snapshot`)."""
+        return self._stats.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardCoordinator(shards={self.manifest.shard_count}, "
+            f"timeout_s={self.timeout_s}, retries={self.retries}, "
+            f"allow_degraded={self.allow_degraded})"
+        )
+
+    # ------------------------------------------------------------------
+    # query execution
+    # ------------------------------------------------------------------
+    def submit(self, spec: QuerySpec) -> Future:
+        """Scatter-gather one spec; returns a future for its merged result."""
+        if self._closed.is_set():
+            raise RuntimeError("this ShardCoordinator is closed")
+        if spec.dims != self.manifest.dims:
+            raise ValueError(
+                f"spec dimensionality {spec.dims} does not match the "
+                f"federation ({self.manifest.dims}-d)"
+            )
+        return asyncio.run_coroutine_threadsafe(self._execute(spec), self._loop)
+
+    def execute(self, spec: QuerySpec) -> GNNResult:
+        """Blocking convenience over :meth:`submit`."""
+        return self.submit(spec).result()
+
+    async def _execute(self, spec: QuerySpec) -> GNNResult:
+        group = np.asarray(spec.group, dtype=np.float64)
+        bounds = self.manifest.group_mindist_bounds(
+            group, spec.weights, spec.aggregate
+        )
+        payload = encode_spec(spec)
+        if payload["index"] == SHARDED:
+            # Shard nodes plan locally over their own flat snapshot; the
+            # federation-level index choice has no meaning there.
+            payload["index"] = AUTO
+
+        # The sampled upper bound that lets the first wave go out
+        # concurrently.  Pointless for a single shard (it is always
+        # contacted), and it must be dropped as soon as any shard fails:
+        # the records that justify it may live on the dead shard, so a
+        # degraded answer can only prune on distances actually merged.
+        remaining = [int(sid) for sid in np.argsort(bounds, kind="stable")]
+        tau0 = float("inf")
+        if self.manifest.shard_count > 1:
+            # The best-bound shard's sample alone usually suffices (its
+            # records are the near ones) and keeps the kernel call small;
+            # the full union is the fallback for tiny shards.
+            tau0 = self.manifest.sample_kth_distance(
+                group, spec.k, spec.weights, spec.aggregate, shard_id=remaining[0]
+            )
+            if tau0 == float("inf"):
+                tau0 = self.manifest.sample_kth_distance(
+                    group, spec.k, spec.weights, spec.aggregate
+                )
+
+        candidates = []
+        contacted: list[int] = []
+        failed: list[int] = []
+        cost = QueryCost(algorithm="scatter-gather")
+        piloted = False
+
+        while remaining:
+            if len(candidates) >= spec.k:
+                tau = self._kth_distance(candidates, spec.k)
+                targets = [sid for sid in remaining if bounds[sid] < tau]
+            elif tau0 != float("inf"):
+                targets = [sid for sid in remaining if bounds[sid] <= tau0]
+            else:
+                # No sampled bound and fewer than k candidates: serial
+                # pilot — the best-bound shard establishes a real tau.
+                targets = remaining[:1] if not piloted else list(remaining)
+            if not targets:
+                break
+            piloted = True
+            remaining = [sid for sid in remaining if sid not in targets]
+            replies = await asyncio.gather(
+                *(self._query_shard(sid, payload) for sid in targets),
+                return_exceptions=True,
+            )
+            unreachable = None
+            for shard_id, outcome in zip(targets, replies):
+                if isinstance(outcome, ShardUnavailableError):
+                    failed.append(shard_id)
+                    unreachable = outcome
+                    tau0 = float("inf")
+                    continue
+                if isinstance(outcome, BaseException):
+                    raise outcome
+                contacted.append(shard_id)
+                candidates.extend(outcome.neighbors)
+                merge_costs(cost, outcome.cost)
+            if unreachable is not None and not self.allow_degraded:
+                raise unreachable
+
+        candidates.sort(key=lambda neighbor: (neighbor.distance, neighbor.record_id))
+        result = GNNResult(neighbors=candidates[: spec.k], cost=cost)
+        result.shards_contacted = sorted(contacted)
+        result.shards_pruned = sorted(remaining)
+        result.failed_shards = sorted(failed)
+        result.degraded = bool(failed)
+
+        self._stats.queries += 1
+        self._stats.shards_contacted += len(contacted)
+        self._stats.shards_pruned += len(remaining)
+        self._stats.degraded_queries += bool(failed)
+        merge_costs(self._stats.cost, cost)
+        return result
+
+    @staticmethod
+    def _kth_distance(candidates: list, k: int) -> float:
+        """Current global pruning bound: distance of the k-th best candidate."""
+        if len(candidates) < k:
+            return float("inf")
+        distances = sorted(neighbor.distance for neighbor in candidates)
+        return distances[k - 1]
+
+    async def _query_shard(self, shard_id: int, payload: dict) -> GNNResult:
+        """One sub-query with per-attempt timeout and reconnect retries."""
+        link = self._links[shard_id]
+        attempts = self.retries + 1
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self._stats.retries += 1
+            self._stats.subqueries += 1
+            try:
+                reply = await asyncio.wait_for(
+                    link.request(payload), timeout=self.timeout_s
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError) as error:
+                last_error = error
+                self._stats.failed_subqueries += 1
+                await link.reset()
+                continue
+            if reply.error is None:
+                return reply.result
+            if reply.overloaded:
+                last_error = ShardUnavailableError(
+                    f"shard {shard_id} shed the sub-query: {reply.error}"
+                )
+                self._stats.failed_subqueries += 1
+                await asyncio.sleep(OVERLOAD_BACKOFF_S)
+                continue
+            # A semantic rejection (bad spec, unservable route): the
+            # node is alive and retrying cannot change the outcome.
+            raise ShardQueryError(f"shard {shard_id}: {reply.error}")
+        raise ShardUnavailableError(
+            f"shard {shard_id} at {link.address} unreachable after "
+            f"{attempts} attempt(s): {last_error}"
+        )

@@ -1,0 +1,71 @@
+"""Messages of the coordinator <-> shard-node wire protocol.
+
+One TCP connection carries a stream of length-prefixed pickle frames
+(:func:`repro.serve.protocol.pack_frame`); each frame is one of the
+dataclasses below.  Requests and replies are correlated by a
+client-chosen ``request_id``, so a connection is fully pipelined — the
+coordinator keeps many sub-queries in flight per shard and replies
+return in completion order, not submission order.
+
+The protocol is deliberately tiny:
+
+* :class:`ShardPing` / :class:`ShardPong` — connection handshake and
+  liveness probe; the pong describes the snapshot the node serves so
+  the coordinator can verify shard identity and generation against its
+  manifest before trusting the link.
+* :class:`ShardQuery` / :class:`ShardReply` — one GNN sub-query (an
+  :func:`~repro.serve.protocol.encode_spec` payload) and its outcome:
+  exactly one of ``result`` / ``error`` is set, with ``overloaded``
+  distinguishing admission-control rejections (retryable after backoff)
+  from semantic failures (not retryable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.types import GNNResult
+
+
+@dataclass(frozen=True)
+class ShardPing:
+    """Liveness/identity probe; every connection starts with one."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ShardPong:
+    """The node's self-description, checked against the manifest."""
+
+    request_id: int
+    shard_id: int
+    generation: int
+    size: int
+    dims: int
+
+
+@dataclass(frozen=True)
+class ShardQuery:
+    """One sub-query: an encoded spec payload plus its correlation id."""
+
+    request_id: int
+    payload: dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ShardReply:
+    """Outcome of one :class:`ShardQuery`.
+
+    ``result`` is the plan-stripped :class:`GNNResult` on success;
+    otherwise ``error`` holds the failure text and ``overloaded`` tells
+    the coordinator whether the node's admission control rejected the
+    query (worth retrying after the queue drains) or execution itself
+    failed (retrying is pointless).
+    """
+
+    request_id: int
+    result: GNNResult | None = None
+    error: str | None = None
+    overloaded: bool = False

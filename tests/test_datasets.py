@@ -233,6 +233,51 @@ class TestRequestTrace:
             with pytest.raises(ValueError):
                 generate_request_trace(data, **settings)
 
+    def test_explicit_extent_confines_every_group(self):
+        extent = MBR(np.array([200.0, 300.0]), np.array([400.0, 500.0]))
+        _, trace = self._trace(extent=extent)
+        for request in trace:
+            assert extent.contains(MBR.from_points(request.group))
+
+    def test_extent_accepts_a_low_high_pair(self):
+        _, from_pair = self._trace(extent=([200.0, 300.0], [400.0, 500.0]))
+        extent = MBR(np.array([200.0, 300.0]), np.array([400.0, 500.0]))
+        _, from_mbr = self._trace(extent=extent)
+        for left, right in zip(from_pair, from_mbr):
+            assert np.array_equal(left.group, right.group)
+
+    def test_extent_overrides_data_points(self):
+        """When both are given, the extent wins — the trace ignores the
+        dataset's bounding box entirely."""
+        extent = MBR(np.array([0.0, 0.0]), np.array([10.0, 10.0]))
+        _, trace = self._trace(extent=extent)
+        for request in trace[:20]:
+            assert request.group.max() <= 10.0
+
+    def test_extent_only_needs_no_data_points(self):
+        extent = MBR(np.array([0.0, 0.0]), np.array([100.0, 100.0]))
+        trace = generate_request_trace(
+            requests=20, rate_per_s=10.0, n=3, mbr_fraction=0.1, k=2,
+            seed=5, extent=extent,
+        )
+        assert len(trace) == 20
+
+    def test_neither_workspace_source_rejected(self):
+        with pytest.raises(ValueError, match="workspace"):
+            generate_request_trace(
+                requests=10, rate_per_s=10.0, n=2, mbr_fraction=0.1, k=1
+            )
+
+    def test_default_path_is_seed_stable_without_extent(self):
+        """The extent parameter must not perturb the default trace: the
+        same seed consumes the RNG identically with extent omitted."""
+        data, default_trace = self._trace()
+        _, explicit = self._trace(extent=MBR.from_points(data))
+        for left, right in zip(default_trace, explicit):
+            assert left.arrival_s == right.arrival_s
+            assert left.hotspot == right.hotspot
+            assert np.array_equal(left.group, right.group)
+
 
 class TestWorkspacePlacement:
     def test_scale_into_workspace_area_fraction(self):

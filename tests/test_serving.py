@@ -381,6 +381,71 @@ class TestBackpressure:
         assert result.neighbors
 
 
+class TestCloseIdempotency:
+    def test_close_twice_is_safe(self, snapshot_path, rng):
+        server = GNNServer(snapshot_path, workers=1)
+        future = server.submit(QuerySpec(group=rng.uniform(0, 1000, size=(3, 2)), k=1))
+        server.close(timeout=20)
+        server.close(timeout=20)  # second close must be a bounded no-op
+        assert future.done()
+
+    def test_concurrent_closers_all_return(self, snapshot_path):
+        import threading
+
+        server = GNNServer(snapshot_path, workers=2)
+        threads = [
+            threading.Thread(target=server.close, kwargs={"timeout": 20})
+            for _ in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not any(thread.is_alive() for thread in threads)
+        server.close(timeout=5)  # and once more after teardown completed
+
+    def test_close_after_worker_crash_does_not_raise(self, snapshot_path, rng):
+        """A crashed worker must not turn shutdown into an exception:
+        queue feeders may be broken, joins must fall back to terminate."""
+        server = GNNServer(snapshot_path, workers=1, window_s=5.0, max_batch=1024)
+        future = server.submit(QuerySpec(group=rng.uniform(0, 1000, size=(3, 2)), k=1))
+        for process in server._workers:
+            process.kill()
+            process.join(timeout=10)
+        server.close(timeout=20)
+        server.close(timeout=20)
+        # The queued request cannot have survived; close() failed it
+        # with a ServingError instead of leaving it hanging forever.
+        assert future.done()
+        with pytest.raises(ServingError):
+            future.result(timeout=1)
+
+    def test_submit_racing_close_never_hangs(self, snapshot_path, rng):
+        import threading
+
+        server = GNNServer(snapshot_path, workers=1, window_s=0.001)
+        specs = [
+            QuerySpec(group=rng.uniform(0, 1000, size=(3, 2)), k=1) for _ in range(50)
+        ]
+        futures = []
+
+        def submitter():
+            for spec in specs:
+                try:
+                    futures.append(server.submit(spec))
+                except RuntimeError:
+                    return  # server closed under us: expected
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        time.sleep(0.01)
+        server.close(timeout=20)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        for future in futures:
+            assert future.done()
+
+
 class TestHotSwap:
     def test_publish_snapshot_remaps_workers(self, serve_points, snapshot_path):
         group = np.array([[555.0, 555.0], [557.0, 555.0]])
