@@ -23,6 +23,15 @@ queries:
   so a bucket pays the traversal once instead of ``B`` times.  The
   snapshot itself is materialised at most once per batch.
 
+When the execution context carries a *dirty* delta overlay
+(:class:`~repro.rtree.overlay.DeltaOverlay` — the engine's mutable
+write path), snapshot-routed plans detour through
+:func:`execute_overlay`: the planned algorithm runs over the frozen
+base with tombstones excluded and over the small delta tree of
+post-snapshot inserts, and the candidates merge by ``(distance,
+record_id)`` — bit-identical to a from-scratch rebuild.  Shared
+traversals are disabled while dirty (they see only the base arrays).
+
 Batching never changes answers: every fast path reproduces the exact
 arithmetic of the per-query route, which ``execute_many`` equivalence
 tests pin down.  Two deliberate caveats on the shared paths, both
@@ -37,7 +46,7 @@ results carry the counters of the one traversal under the
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -48,12 +57,17 @@ from repro.api.planner import (
     QueryPlan,
     QueryPlanner,
 )
-from repro.api.spec import MEMORY, QuerySpec
-from repro.core.mbm import mbm_batch
+from repro.api.spec import AUTO, MEMORY, OBJECT, QuerySpec
+from repro.core.aggregates import aggregate_gnn
+from repro.core.bruteforce import brute_force_gnn
+from repro.core.mbm import mbm, mbm_batch
+from repro.core.mqm import mqm
+from repro.core.spm import spm
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_indices
 from repro.rtree.flat import FlatRTree
+from repro.rtree.overlay import DeltaOverlay
 from repro.rtree.tree import RTree
 from repro.storage.buffer import LRUBuffer
 from repro.storage.pointfile import PointFile
@@ -89,6 +103,13 @@ class ExecutionContext:
     (``GNNEngine.from_index``) — disk-resident plans then fail with an
     explicit error, since the Section-4 algorithms stream against the
     dynamic tree.
+
+    ``point_ids`` names the record id of each row of ``points`` when
+    the two no longer coincide (after deletions, or for shard views
+    carrying global ids); ``None`` keeps the classic row-index rule.
+    ``overlay`` carries the engine's *dirty* delta overlay — when set,
+    snapshot-routed plans execute through :func:`execute_overlay`
+    (base + delta − tombstones) instead of the stale frozen arrays.
     """
 
     tree: RTree | None
@@ -96,6 +117,8 @@ class ExecutionContext:
     buffer: LRUBuffer | None = None
     flat: FlatRTree | None = None
     flat_provider: Callable[[], FlatRTree | None] | None = None
+    point_ids: np.ndarray | None = None
+    overlay: DeltaOverlay | None = None
 
     def get_flat(self) -> FlatRTree | None:
         """The flat snapshot, materialising it through the provider once."""
@@ -148,10 +171,142 @@ def execute_spec(
             "execution context holds only a flat snapshot "
             "(engine built with GNNEngine.from_index)"
         )
-    result = plan.algorithm.runner(context, prepare(spec, plan))
+    if _overlay_routed(context, spec, plan):
+        result = execute_overlay(context, spec, plan)
+    else:
+        result = plan.algorithm.runner(context, prepare(spec, plan))
     if spec.trace:
         result.plan = plan
     return result
+
+
+# ----------------------------------------------------------------------
+# delta-overlay execution
+# ----------------------------------------------------------------------
+#: Tombstone-aware entry points of the built-in algorithms: these merge
+#: the overlay inside the driver (the base traversal excludes the
+#: tombstone set directly, so pruning bounds track the *live* k-th best
+#: instead of an inflated k).  Algorithms registered by third parties
+#: fall back to k-widening plus post-filtering in
+#: :func:`execute_overlay`, which is exact but less tight.
+_OVERLAY_DRIVERS: dict[str, Callable[..., GNNResult]] = {
+    "mqm": lambda index, query, options, exclude: mqm(index, query, exclude=exclude),
+    "spm": lambda index, query, options, exclude: spm(
+        index, query, exclude=exclude, **options
+    ),
+    "mbm": lambda index, query, options, exclude: mbm(
+        index, query, exclude=exclude, **options
+    ),
+    "best-first": lambda index, query, options, exclude: aggregate_gnn(
+        index, query, exclude=exclude
+    ),
+}
+
+
+def _overlay_routed(context: ExecutionContext, spec: QuerySpec, plan: QueryPlan) -> bool:
+    """Whether this spec must answer from the merged overlay view.
+
+    Only snapshot-routed memory plans are affected: the object tree
+    (``index="object"`` or a brute-force scan of the live points) is
+    mutated in place by the engine and already current, so those paths
+    keep their classic route.
+    """
+    overlay = context.overlay
+    if overlay is None or not overlay.dirty:
+        return False
+    if plan.residency != MEMORY or spec.index == OBJECT:
+        return False
+    if plan.use_flat:
+        return True
+    # Snapshot-only engines have no live object tree to fall back to:
+    # the overlay is the only current view of the data.
+    return context.tree is None and plan.algorithm.name == "brute-force"
+
+
+def execute_overlay(
+    context: ExecutionContext, spec: QuerySpec, plan: QueryPlan
+) -> GNNResult:
+    """Answer a memory-resident spec over a dirty delta overlay.
+
+    The planned algorithm runs twice — once over the frozen base
+    snapshot with the tombstone set excluded, once over the (small)
+    delta tree of post-snapshot inserts — and the two candidate lists
+    merge by the library-wide ``(distance, record_id)`` rule.  Both runs
+    use the same distance kernels over the same coordinates a rebuilt
+    single tree would hold, so the merged answers are bit-identical to a
+    from-scratch rebuild over the live dataset; counters sum the two
+    traversals and the algorithm label gains an ``+overlay`` suffix.
+    """
+    overlay = context.overlay
+    started = time.perf_counter()
+    name = plan.algorithm.name
+    if name == "brute-force":
+        points, ids = overlay.live_points()
+        result = brute_force_gnn(points, spec.group_query(), record_ids=ids)
+        result.cost.algorithm = "brute-force+overlay"
+        result.cost.cpu_time = time.perf_counter() - started
+        return result
+
+    driver = _OVERLAY_DRIVERS.get(name)
+    parts: list[GNNResult] = []
+    if driver is not None:
+        query = spec.group_query()
+        exclude = overlay.tombstones if overlay.tombstones else None
+        parts.append(driver(overlay.base, query, dict(plan.options), exclude))
+        if len(overlay.delta):
+            # The memtable scan: the delta stays small between
+            # compactions, so one vectorised kernel call scores all of
+            # it — the same kernel the traversals use, so the merged
+            # answers are unchanged.
+            delta_points, delta_ids = overlay.delta_points()
+            parts.append(
+                brute_force_gnn(delta_points, query, record_ids=delta_ids)
+            )
+    else:
+        # Unknown (third-party) algorithm: widen k so the base's top
+        # k + |tombstones| provably contains the top-k live records,
+        # then post-filter; the delta side runs the algorithm verbatim.
+        base_spec = (
+            spec.replace(k=spec.k + len(overlay.tombstones))
+            if overlay.tombstones
+            else spec
+        )
+        base_plan = replace(plan, spec=base_spec)
+        base_context = ExecutionContext(
+            tree=None, buffer=context.buffer, flat=overlay.base
+        )
+        base = plan.algorithm.runner(base_context, prepare(base_spec, base_plan))
+        base.neighbors = [
+            n for n in base.neighbors if n.record_id not in overlay.tombstones
+        ]
+        parts.append(base)
+        if len(overlay.delta):
+            delta_spec = spec if spec.index == AUTO else spec.replace(index=AUTO)
+            delta_plan = replace(plan, spec=delta_spec, use_flat=False)
+            delta_context = ExecutionContext(tree=overlay.delta)
+            parts.append(
+                plan.algorithm.runner(delta_context, prepare(delta_spec, delta_plan))
+            )
+    return _merge_overlay_parts(spec.k, parts, time.perf_counter() - started)
+
+
+def _merge_overlay_parts(
+    k: int, parts: list[GNNResult], elapsed: float
+) -> GNNResult:
+    """Merge base and delta candidates; sum the counters of both runs."""
+    candidates = [neighbor for part in parts for neighbor in part.neighbors]
+    # Base and delta record ids are disjoint by construction, so the
+    # merge is a plain sort by the canonical (distance, record id) rule.
+    candidates.sort(key=lambda neighbor: (neighbor.distance, neighbor.record_id))
+    cost = QueryCost(algorithm=f"{parts[0].cost.algorithm}+overlay", cpu_time=elapsed)
+    for part in parts:
+        cost.node_accesses += part.cost.node_accesses
+        cost.leaf_accesses += part.cost.leaf_accesses
+        cost.page_faults += part.cost.page_faults
+        cost.distance_computations += part.cost.distance_computations
+        cost.page_reads += part.cost.page_reads
+        cost.block_reads += part.cost.block_reads
+    return GNNResult(neighbors=candidates[:k], cost=cost)
 
 
 def execute_batch(
@@ -196,9 +351,12 @@ def execute_batch(
     # Materialise the flat snapshot at most once for the whole batch:
     # every flat-capable plan shares it for the batch's duration, so an
     # engine-side invalidation (e.g. an insert between batches) can
-    # never trigger repeated lazy rebuilds inside one call.
+    # never trigger repeated lazy rebuilds inside one call.  A dirty
+    # overlay disables the shared traversal wholesale — the frozen
+    # arrays alone no longer describe the live data; the per-spec path
+    # below answers from the merged overlay view instead.
     flat = None
-    if any(plans[i].use_flat for i in remaining):
+    if context.overlay is None and any(plans[i].use_flat for i in remaining):
         flat = context.get_flat()
     if flat is not None:
         shared_indices = [
@@ -358,6 +516,7 @@ def _batched_brute_force(
     if not indices:
         return
     pts = np.asarray(context.points, dtype=np.float64)
+    ids = context.point_ids
     size, dims = pts.shape
     buckets: dict[tuple[str, int], list[int]] = {}
     for i in indices:
@@ -373,18 +532,28 @@ def _batched_brute_force(
             elapsed = (time.perf_counter() - started) / len(members)
             for row, i in enumerate(members):
                 yield i, _topk_result(
-                    pts, distances[row], specs[i].k, cardinality, elapsed
+                    pts, distances[row], specs[i].k, cardinality, elapsed, ids
                 )
 
 
 def _topk_result(
-    pts: np.ndarray, distances: np.ndarray, k: int, cardinality: int, elapsed: float
+    pts: np.ndarray,
+    distances: np.ndarray,
+    k: int,
+    cardinality: int,
+    elapsed: float,
+    record_ids: np.ndarray | None = None,
 ) -> GNNResult:
     """Select the top-k exactly like :func:`repro.core.bruteforce.brute_force_gnn`."""
     k = min(k, pts.shape[0])
     candidate_ids = np.argpartition(distances, k - 1)[:k]
     order = candidate_ids[np.argsort(distances[candidate_ids], kind="stable")]
-    neighbors = [GroupNeighbor(int(i), pts[i], float(distances[i])) for i in order]
+    if record_ids is None:
+        neighbors = [GroupNeighbor(int(i), pts[i], float(distances[i])) for i in order]
+    else:
+        neighbors = [
+            GroupNeighbor(int(record_ids[i]), pts[i], float(distances[i])) for i in order
+        ]
     cost = QueryCost(
         algorithm="brute-force",
         distance_computations=int(pts.shape[0] * cardinality),

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.core.aggregates import aggregate_gnn
 from repro.core.bruteforce import brute_force_gnn, brute_force_over_tree
 from repro.core.fmbm import fmbm
@@ -186,20 +188,29 @@ def _run_best_first(context, request):
 
 def _run_brute_force(context, request):
     if context.points is not None:
-        return brute_force_gnn(context.points, request.query)
+        # point_ids maps live rows back to record ids once deletions (or
+        # shard-global ids) break the row-index rule; None keeps it.
+        return brute_force_gnn(
+            context.points, request.query, record_ids=context.point_ids
+        )
     if context.tree is not None:
         return brute_force_over_tree(context.tree, request.query)
     # Snapshot-only context: reconstruct the dataset from the flat
-    # snapshot (cached there) when record ids are the usual row indices.
+    # snapshot (cached there) when record ids are the usual row indices,
+    # else scan its leaf arrays in record-id order (compacted
+    # generations keep their original ids, so ids are no longer dense).
     flat = context.get_flat()
     if flat is not None:
         points = flat.points_by_record_id()
         if points is not None:
             return brute_force_gnn(points, request.query)
+        order = np.argsort(flat.record_ids, kind="stable")
+        return brute_force_gnn(
+            flat.points[order], request.query, record_ids=flat.record_ids[order]
+        )
     raise ValueError(
         "brute force needs the raw dataset points, the object R-tree, or a "
-        "flat snapshot with row-index record ids; this execution context "
-        "has none of those"
+        "flat snapshot; this execution context has none of those"
     )
 
 

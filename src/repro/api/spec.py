@@ -84,7 +84,10 @@ class QuerySpec:
         ``block_pages=200`` or ``max_pairs=10_000``).
     index:
         ``"auto"`` (default: the planner routes memory-resident queries
-        through the engine's flat snapshot when one is available),
+        through the engine's flat snapshot when one is available — and,
+        when pending writes have made that snapshot stale, through the
+        merged delta-overlay view, which stays bit-identical to a
+        rebuilt index),
         ``"flat"`` (require the flat snapshot; planning or execution
         fails if the algorithm or engine cannot provide it),
         ``"object"`` (always traverse the dynamic object tree) or

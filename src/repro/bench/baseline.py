@@ -16,6 +16,12 @@ trajectory point (and CI archives one per run):
   through ``engine.execute_many`` (the shared-traversal path over the
   flat snapshot) versus one ``engine.execute`` per spec, answers
   verified identical before timing.
+* **write path** — the same fig-5.1 workload over a delta overlay
+  carrying 10% uncompacted writes versus the equivalent frozen
+  (compacted) snapshot; overlay and frozen answers must be
+  bit-identical before timing, and ``write_path_efficiency``
+  (frozen/overlay latency) is gated so mutability never silently costs
+  more than its 1.5x budget.
 * **serving** — the multi-process server over a shared mmap snapshot at
   the fig-5.1 smoke setting: a seeded Poisson/Zipf trace is replayed
   against 1, 2 and 4 workers, reporting throughput (flood) and
@@ -64,7 +70,9 @@ from repro.storage.pointfile import PointFile
 #: Schema 3 added the ``serving`` section (multi-process server
 #: throughput/latency vs worker count).  Schema 4 added the ``sharded``
 #: section (scatter-gather over networked shard nodes vs shard count).
-SCHEMA_VERSION = 4
+#: Schema 5 added the ``write_path`` section (query latency over a
+#: dirty delta overlay vs the equivalent frozen snapshot).
+SCHEMA_VERSION = 5
 
 #: Default output filename (also the CI artifact name).
 DEFAULT_OUTPUT = "BENCH_quick.json"
@@ -128,6 +136,15 @@ SHARDED_CAPACITY = 8
 #: is long enough to average out scheduler noise.
 SHARDED_FLOOD_PASSES = 1
 SHARDED_REPEATS = 5
+
+#: Write-path config: the fig-5.1 smoke setting queried over a delta
+#: overlay carrying 10% uncompacted writes (60 deletes + 60 inserts on
+#: the 1200-point base), versus the equivalent frozen (compacted)
+#: snapshot of the same live dataset.  ``write_path_efficiency`` is
+#: frozen over overlay latency, so 0.67 corresponds to the 1.5x
+#: overhead budget of the overlay design.
+WRITE_PATH_DELETES = 60
+WRITE_PATH_INSERTS = 60
 
 #: Regression floor of the --compare gate: a freshly measured speedup
 #: may not fall below this fraction of the committed value.
@@ -555,6 +572,122 @@ def _sharded_baseline(repeats: int) -> dict:
     }
 
 
+def _write_path_baseline(repeats: int) -> dict:
+    """Query latency over a 10%-dirty delta overlay vs a frozen snapshot.
+
+    A snapshot-only engine absorbs 60 deletes and 60 inserts into its
+    overlay; the same fig-5.1-shaped workload is then timed over the
+    merged (base + delta − tombstones) view and over the equivalent
+    compacted snapshot — the same live dataset, frozen.  Answers must be
+    bit-identical between the two views (and across compaction) before
+    anything is timed.  ``write_path_efficiency`` is the portable ratio
+    the ``--compare`` gate holds: frozen over overlay latency, where
+    0.67 corresponds to the overlay's 1.5x overhead budget.
+    """
+    import numpy as np
+
+    from repro.rtree.flat import FlatRTree as _FlatRTree
+
+    data = pp_like(FIG51_DATASET_SIZE)
+    base = GNNEngine(data, capacity=50).snapshot()
+    dirty = GNNEngine.from_index(base)
+    rng = np.random.default_rng(FIG51_SEED)
+    for record_id in rng.choice(data.shape[0], size=WRITE_PATH_DELETES, replace=False):
+        if not dirty.delete(data[record_id], int(record_id)):
+            raise AssertionError(f"write_path: delete of record {record_id} failed")
+    jitter = 0.01 * (data.max(axis=0) - data.min(axis=0))
+    for row in rng.choice(data.shape[0], size=WRITE_PATH_INSERTS, replace=False):
+        dirty.insert(data[row] + jitter * rng.standard_normal(data.shape[1]))
+    dirty_ratio = dirty.dirty_ratio
+
+    # The frozen reference: the same live dataset, compacted.  The
+    # overlay itself stays dirty (compact() on the overlay object folds
+    # without clearing the engine), so both views coexist for timing.
+    frozen = GNNEngine.from_index(dirty.overlay.compact(capacity=50))
+
+    workload = generate_workload(
+        data,
+        WorkloadSpec(
+            n=FIG51_CARDINALITY,
+            mbr_fraction=FIG51_MBR_FRACTION,
+            k=FIG51_K,
+            queries=FIG51_QUERIES,
+        ),
+        seed=FIG51_SEED,
+    )
+
+    results: dict = {}
+    overlay_total = 0.0
+    frozen_total = 0.0
+    for name in ("mqm", "spm", "mbm"):
+        specs = [QuerySpec(group=group, k=FIG51_K, algorithm=name) for group in workload]
+        overlay_results = [dirty.execute(spec) for spec in specs]
+        frozen_results = [frozen.execute(spec) for spec in specs]
+        for overlay_result, frozen_result in zip(overlay_results, frozen_results):
+            if [n.as_tuple() for n in overlay_result.neighbors] != [
+                n.as_tuple() for n in frozen_result.neighbors
+            ]:
+                raise AssertionError(
+                    f"write_path: {name} overlay answers differ from the "
+                    "compacted snapshot"
+                )
+
+        def run_overlay(specs=specs):
+            for spec in specs:
+                dirty.execute(spec)
+            return len(specs)
+
+        def run_frozen(specs=specs):
+            for spec in specs:
+                frozen.execute(spec)
+            return len(specs)
+
+        overlay_ms = _median_runtime(run_overlay, repeats) * 1000.0
+        frozen_ms = _median_runtime(run_frozen, repeats) * 1000.0
+        overlay_total += overlay_ms
+        frozen_total += frozen_ms
+        results[name.upper()] = {
+            "overlay_ms_per_query": round(overlay_ms, 4),
+            "frozen_ms_per_query": round(frozen_ms, 4),
+            "overlay_overhead": round(overlay_ms / frozen_ms, 2),
+        }
+
+    # Compaction cost (fold + bulk-load of the live dataset), and proof
+    # that compaction round-trips: a reloaded generation-N+1 snapshot
+    # answers exactly like the overlay did.
+    started = time.perf_counter()
+    compacted = dirty.compact()
+    compaction_ms = (time.perf_counter() - started) * 1000.0
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "write-path-gen000001.npz")
+        compacted.save(path)
+        reloaded = GNNEngine.from_index(_FlatRTree.load(path, mmap_mode="r"))
+        spec = QuerySpec(group=workload[0], k=FIG51_K)
+        if [n.as_tuple() for n in reloaded.execute(spec).neighbors] != [
+            n.as_tuple() for n in frozen.execute(spec).neighbors
+        ]:
+            raise AssertionError("write_path: reloaded compaction answers differ")
+
+    return {
+        "setting": {
+            "figure": "5.1",
+            "scale": "smoke",
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "n": FIG51_CARDINALITY,
+            "mbr_fraction": FIG51_MBR_FRACTION,
+            "k": FIG51_K,
+            "queries": FIG51_QUERIES,
+            "deletes": WRITE_PATH_DELETES,
+            "inserts": WRITE_PATH_INSERTS,
+            "dirty_ratio": round(dirty_ratio, 3),
+        },
+        "algorithms": results,
+        "compaction_ms": round(compaction_ms, 2),
+        "compacted_generation": compacted.generation,
+        "write_path_efficiency": round(frozen_total / overlay_total, 2),
+    }
+
+
 def quick_baseline(repeats: int = 5) -> dict:
     """Measure all configurations and return the baseline document."""
     return {
@@ -566,6 +699,7 @@ def quick_baseline(repeats: int = 5) -> dict:
         "memory_fig5_1": _memory_baseline(repeats),
         "disk": _disk_baseline(repeats),
         "batch_flat": _batch_baseline(repeats),
+        "write_path": _write_path_baseline(repeats),
         "serving": _serving_baseline(repeats),
         "sharded": _sharded_baseline(repeats),
     }
@@ -585,6 +719,9 @@ def collect_speedups(document: dict) -> dict[str, float]:
     batch = document.get("batch_flat", {})
     if "batch_speedup" in batch:
         speedups["batch_speedup"] = float(batch["batch_speedup"])
+    write_path = document.get("write_path", {})
+    if "write_path_efficiency" in write_path:
+        speedups["write_path_efficiency"] = float(write_path["write_path_efficiency"])
     serving = document.get("serving", {})
     if "throughput_speedup_4w_vs_1w" in serving:
         speedups["serving_speedup"] = float(serving["throughput_speedup_4w_vs_1w"])

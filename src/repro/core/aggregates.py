@@ -56,11 +56,23 @@ def group_nn_stream(tree: RTree | FlatRTree, query: GroupQuery) -> Iterator[Neig
     )
 
 
-def aggregate_gnn(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
-    """Exact k-GNN retrieval for any supported aggregate via best-first search."""
+def aggregate_gnn(
+    tree: RTree | FlatRTree,
+    query: GroupQuery,
+    exclude: frozenset | set | None = None,
+) -> GNNResult:
+    """Exact k-GNN retrieval for any supported aggregate via best-first search.
+
+    ``exclude`` bars a set of record ids (delta-overlay tombstones) from
+    the result: the stream still emits them in order — they are real
+    index entries — but the consumer skips past to the next live record,
+    which the ascending emission order keeps exact.
+    """
     tracker = CostTracker(f"best-first-{query.aggregate}", trees=[tree])
     neighbors: list[GroupNeighbor] = []
     for neighbor in group_nn_stream(tree, query):
+        if exclude is not None and neighbor.record_id in exclude:
+            continue
         neighbors.append(GroupNeighbor(neighbor.record_id, neighbor.point, neighbor.distance))
         if len(neighbors) == query.k:
             break

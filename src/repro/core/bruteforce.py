@@ -18,12 +18,15 @@ from repro.geometry.point import as_points
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 
 
-def brute_force_gnn(points, query: GroupQuery) -> GNNResult:
+def brute_force_gnn(points, query: GroupQuery, record_ids=None) -> GNNResult:
     """Return the exact top-k group neighbors by exhaustive scan.
 
     ``points`` is the full dataset ``P`` as an ``(N, dims)`` array whose
-    row indices serve as record ids.  The whole scan is a single call of
-    the aggregate-distance kernel (weights were validated by the query).
+    row indices serve as record ids — unless ``record_ids`` supplies the
+    id of each row explicitly (the write path hands live views whose
+    rows no longer coincide with record ids after deletions).  The whole
+    scan is a single call of the aggregate-distance kernel (weights were
+    validated by the query).
     """
     started = time.perf_counter()
     pts = as_points(points)
@@ -34,7 +37,13 @@ def brute_force_gnn(points, query: GroupQuery) -> GNNResult:
     # argpartition gives the k smallest in O(N); sort just those k.
     candidate_ids = np.argpartition(distances, k - 1)[:k]
     order = candidate_ids[np.argsort(distances[candidate_ids], kind="stable")]
-    neighbors = [GroupNeighbor(int(i), pts[i], float(distances[i])) for i in order]
+    if record_ids is None:
+        neighbors = [GroupNeighbor(int(i), pts[i], float(distances[i])) for i in order]
+    else:
+        ids = np.asarray(record_ids, dtype=np.int64)
+        neighbors = [
+            GroupNeighbor(int(ids[i]), pts[i], float(distances[i])) for i in order
+        ]
     cost = QueryCost(
         algorithm="brute-force",
         distance_computations=int(pts.shape[0] * query.cardinality),

@@ -31,9 +31,10 @@ from repro.api.executor import ExecutionContext, execute_batch, execute_spec
 from repro.api.planner import AUTO_FMQM_MAX_BLOCKS, QueryPlan, QueryPlanner
 from repro.api.registry import available_algorithms
 from repro.api.spec import DISK, MEMORY, QuerySpec
+from repro.core.store import PointStore
 from repro.core.types import GNNResult
-from repro.geometry.point import as_points
 from repro.rtree.flat import FlatRTree
+from repro.rtree.overlay import DeltaOverlay
 from repro.rtree.tree import DEFAULT_CAPACITY, RTree
 from repro.storage.buffer import LRUBuffer
 from repro.storage.pointfile import PointFile
@@ -70,10 +71,14 @@ class GNNEngine:
         array-backed snapshot (:class:`~repro.rtree.flat.FlatRTree`) of
         the tree on first execution and routes memory-resident queries
         through it — bit-identical results and counters, markedly less
-        Python overhead per traversal.  ``engine.insert`` invalidates
-        the snapshot; it is rebuilt on the next query.  Pass False to
-        always traverse the object tree (a per-spec ``index="flat"`` /
-        ``index="object"`` preference overrides either default).
+        Python overhead per traversal.  Once a snapshot exists, writes
+        no longer invalidate it: :meth:`insert` / :meth:`delete` land in
+        a :class:`~repro.rtree.overlay.DeltaOverlay` (delta tree plus
+        tombstones) and queries answer from the merged view;
+        :meth:`compact` folds the overlay into a generation-``N+1``
+        snapshot.  Pass False to always traverse the object tree (a
+        per-spec ``index="flat"`` / ``index="object"`` preference
+        overrides either default).
     """
 
     def __init__(
@@ -84,18 +89,23 @@ class GNNEngine:
         bulk_method: str = "str",
         snapshot: bool = True,
     ):
-        self.points = as_points(data_points)
+        self._store = PointStore(data_points)
         self.buffer = LRUBuffer(buffer_pages) if buffer_pages else None
         self.tree = RTree.bulk_load(
-            self.points, capacity=capacity, method=bulk_method, buffer=self.buffer
+            self._store.live_points()[0],
+            capacity=capacity,
+            method=bulk_method,
+            buffer=self.buffer,
         )
         self._auto_snapshot = bool(snapshot)
         self._flat: FlatRTree | None = None
+        self._overlay: DeltaOverlay | None = None
+        self._next_id: int | None = None
         self.planner = QueryPlanner(self)
 
     @classmethod
     def from_index(cls, index: FlatRTree, points=None) -> "GNNEngine":
-        """Build a read-only engine around an existing flat snapshot.
+        """Build an engine around an existing flat snapshot.
 
         This is the deserialisation path: save a snapshot once, then
         ``GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))``
@@ -103,40 +113,114 @@ class GNNEngine:
         object tree.  Nothing is copied up front — a memory-mapped
         snapshot stays memory-mapped; brute-force specs reconstruct the
         raw dataset from the snapshot lazily on first use (or use the
-        ``points`` argument when supplied).  Disk-resident specs and
-        :meth:`insert` require the object tree and raise.
+        ``points`` argument when supplied).  Disk-resident specs require
+        the object tree and raise.  :meth:`insert` / :meth:`delete`
+        work: writes land in a delta overlay on top of the (untouched,
+        possibly read-only) snapshot — the per-shard write path uses
+        exactly this.
         """
         if not isinstance(index, FlatRTree):
             raise TypeError(f"from_index expects a FlatRTree, got {type(index).__name__}")
         engine = cls.__new__(cls)
-        engine.points = as_points(points) if points is not None else None
+        engine._store = PointStore(points) if points is not None else None
         engine.buffer = index.buffer
         engine.tree = None
         engine._auto_snapshot = True
         engine._flat = index
+        engine._overlay = None
+        engine._next_id = None
         engine.planner = QueryPlanner(engine)
         return engine
 
     # ------------------------------------------------------------------
-    # flat snapshot management
+    # dataset views
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> np.ndarray | None:
+        """The *live* dataset as an ``(N, dims)`` array (or None).
+
+        Backed by the engine's append-only :class:`PointStore`: inserts
+        append in amortised O(1) and deletes drop out of this view, so
+        it always matches what queries can return.
+        """
+        if self._store is None:
+            return None
+        return self._store.live_points()[0]
+
+    # ------------------------------------------------------------------
+    # flat snapshot and overlay management
     # ------------------------------------------------------------------
     @property
     def flat(self) -> FlatRTree | None:
-        """The current flat snapshot, or None when not materialised yet."""
+        """The current flat base snapshot, or None when not materialised yet."""
         return self._flat
 
-    def snapshot(self) -> FlatRTree:
-        """Materialise (and cache) the flat snapshot of the current tree.
+    @property
+    def overlay(self) -> DeltaOverlay | None:
+        """The delta overlay holding post-snapshot writes, or None when clean."""
+        return self._overlay
 
-        The snapshot shares the engine's LRU buffer, so page-access
-        accounting is identical whichever index answers a query.  Call
-        ``snapshot().save(path)`` to persist it.
+    @property
+    def dirty(self) -> bool:
+        """True when the overlay holds writes the base snapshot has not absorbed."""
+        return self._overlay is not None and self._overlay.dirty
+
+    @property
+    def dirty_ratio(self) -> float:
+        """Pending overlay writes relative to the base snapshot size."""
+        if not self.dirty:
+            return 0.0
+        return self._overlay.dirty_ratio
+
+    def snapshot(self) -> FlatRTree:
+        """The flat snapshot of the *current* data — compacting when dirty.
+
+        On a clean engine this materialises (and caches) the flat
+        snapshot of the tree; on a dirty one it folds the overlay via
+        :meth:`compact` first, so the returned snapshot always reflects
+        every applied write.  The snapshot shares the engine's LRU
+        buffer, so page-access accounting is identical whichever index
+        answers a query.  Call ``snapshot().save(path)`` to persist it.
         """
+        if self.dirty:
+            return self.compact()
         if self._flat is None:
             if self.tree is None:
                 raise ValueError("this engine holds no object tree to snapshot")
             self._flat = FlatRTree.from_tree(self.tree)
         return self._flat
+
+    def compact(self, *, capacity: int | None = None, method: str = "str") -> FlatRTree:
+        """Fold the overlay into a generation-``N+1`` base snapshot.
+
+        The live dataset (base minus tombstones plus delta inserts) is
+        bulk-loaded into a fresh :class:`FlatRTree` with record ids
+        preserved and ``generation = base.generation + 1``; the overlay
+        is then discarded.  This is the LSM compaction step — a
+        :class:`repro.serve.compaction.CompactingWriter` runs it in the
+        background and publishes the result to a live server.
+        """
+        overlay = self._overlay
+        if overlay is None or not overlay.dirty:
+            self._overlay = None
+            return self.snapshot()
+        flat = overlay.compact(capacity=capacity, method=method, buffer=self.buffer)
+        self._flat = flat
+        self._overlay = None
+        return flat
+
+    def _base_snapshot(self) -> FlatRTree | None:
+        """The frozen base the executor traverses (never compacts)."""
+        if self._flat is None and self.tree is not None:
+            self._flat = FlatRTree.from_tree(self.tree)
+        return self._flat
+
+    def _ensure_overlay(self) -> DeltaOverlay:
+        if self._overlay is None:
+            if self._flat is None:
+                raise ValueError("an overlay needs a base snapshot")
+            self._overlay = DeltaOverlay(self._flat)
+        return self._overlay
 
     # ------------------------------------------------------------------
     # planner-based API
@@ -174,13 +258,18 @@ class GNNEngine:
         # or index="object" workloads never pay for the materialisation.
         provider = None
         if self._auto_snapshot and self.tree is not None:
-            provider = self.snapshot
+            provider = self._base_snapshot
+        points = ids = None
+        if self._store is not None:
+            points, ids = self._store.live_points()
         return ExecutionContext(
             tree=self.tree,
-            points=self.points,
+            points=points,
             buffer=self.buffer,
             flat=self._flat,
             flat_provider=provider,
+            point_ids=ids,
+            overlay=self._overlay if self.dirty else None,
         )
 
     # ------------------------------------------------------------------
@@ -259,36 +348,113 @@ class GNNEngine:
         return self.execute(spec)
 
     # ------------------------------------------------------------------
-    # maintenance
+    # maintenance (the mutable write path)
     # ------------------------------------------------------------------
-    def insert(self, point) -> int:
-        """Insert a new data point into the index; returns its record id.
+    @property
+    def dims(self) -> int:
+        if self.tree is not None:
+            return self.tree.dims
+        return self._flat.dims
 
-        Inserting invalidates the flat snapshot (it is a static view);
-        the next executed query rebuilds it when auto-snapshotting is
-        on.  Snapshot-only engines (:meth:`from_index`) are read-only.
-        """
-        if self.tree is None:
-            raise ValueError(
-                "this engine was built from a flat snapshot and is read-only; "
-                "rebuild a GNNEngine from the raw points to insert"
-            )
+    def _validated_point(self, point) -> np.ndarray:
         point = np.asarray(point, dtype=np.float64)
-        if point.ndim != 1 or point.shape[0] != self.points.shape[1]:
+        dims = self.dims
+        if point.ndim != 1 or point.shape[0] != dims:
             raise ValueError(
-                f"inserted point must be a flat vector of dimension "
-                f"{self.points.shape[1]}, got shape {point.shape}"
+                f"point must be a flat vector of dimension {dims}, "
+                f"got shape {point.shape}"
             )
         if not np.all(np.isfinite(point)):
-            raise ValueError("inserted point must have finite coordinates")
-        record_id = self.tree.insert(point, record_id=len(self.points))
-        self.points = np.vstack([self.points, point.reshape(1, -1)])
-        self._flat = None
+            raise ValueError("point must have finite coordinates")
+        return point
+
+    def _allocate_record_id(self) -> int:
+        # Monotonic allocation: ids are never reused, so a record id
+        # deleted yesterday can never collide with one inserted today
+        # (``len(self.points)`` — the old rule — collides after any
+        # deletion).
+        self._init_id_counter()
+        record_id = self._next_id
+        self._next_id += 1
         return record_id
+
+    def _init_id_counter(self) -> None:
+        if self._next_id is None:
+            bound = 0
+            if self._store is not None:
+                bound = self._store.next_record_id
+            if self.tree is None and self._flat is not None and self._flat.size:
+                base_ids = np.asarray(self._flat.record_ids)
+                bound = max(bound, int(base_ids.max()) + 1)
+            self._next_id = bound
+
+    def insert(self, point, record_id: int | None = None) -> int:
+        """Insert a new data point into the index; returns its record id.
+
+        Record ids come from a monotonic counter and are never reused.
+        Writes never invalidate an existing flat snapshot: once one is
+        materialised, the insert also lands in the delta overlay and
+        snapshot-routed queries answer from the merged (base + delta −
+        tombstones) view, bit-identical to a from-scratch rebuild.
+        Snapshot-only engines (:meth:`from_index`) accept inserts the
+        same way — the overlay *is* their write path; the mmap'd base
+        stays untouched.  Point storage appends into an amortised growth
+        buffer (O(1) amortised, not the old O(n) vstack copy).
+
+        An explicit ``record_id`` overrides the allocator — the shard
+        write path assigns federation-global ids this way.  The counter
+        advances past it, so later automatic ids never collide; the
+        caller owns uniqueness against records this engine cannot see.
+        """
+        point = self._validated_point(point)
+        if record_id is None:
+            record_id = self._allocate_record_id()
+        else:
+            record_id = int(record_id)
+            self._init_id_counter()
+            self._next_id = max(self._next_id, record_id + 1)
+        if self.tree is not None:
+            self.tree.insert(point, record_id=record_id)
+            if self._flat is not None:
+                self._ensure_overlay().insert(point, record_id)
+        else:
+            self._ensure_overlay().insert(point, record_id)
+        if self._store is not None:
+            self._store.append(point, record_id)
+        return record_id
+
+    def delete(self, point, record_id: int) -> bool:
+        """Delete the record with the given point and id; True when removed.
+
+        This is the safe counterpart of calling ``tree.delete`` directly
+        — which used to leave ``engine.points`` and the cached snapshot
+        stale, silently returning deleted records from snapshot-routed
+        queries.  Here every view updates together: the object tree (when
+        present), the live point store, and the overlay — a delete of a
+        base-snapshot record becomes a tombstone; a delete of a
+        not-yet-compacted insert is removed from the delta tree
+        physically.
+        """
+        point = self._validated_point(point)
+        record_id = int(record_id)
+        if self.tree is not None:
+            removed = self.tree.delete(point, record_id)
+            if not removed:
+                return False
+            if self._flat is not None:
+                self._ensure_overlay().delete(point, record_id)
+        else:
+            if not self._ensure_overlay().delete(point, record_id):
+                return False
+        if self._store is not None:
+            self._store.delete(record_id)
+        return True
 
     def __len__(self) -> int:
         if self.tree is not None:
             return len(self.tree)
+        if self.dirty:
+            return len(self._overlay)
         return len(self._flat)
 
     def __repr__(self) -> str:

@@ -42,6 +42,7 @@ def mbm(
     query: GroupQuery,
     traversal: str = "best_first",
     use_heuristic3: bool = True,
+    exclude: frozenset | set | None = None,
 ) -> GNNResult:
     """Run the minimum bounding method.
 
@@ -62,6 +63,12 @@ def mbm(
     use_heuristic3:
         Disable to reproduce the paper's ablation ("MBM with only
         heuristic 2 ... inferior to SPM").
+    exclude:
+        Optional record ids barred from the result (delta-overlay
+        tombstones).  Excluded points are skipped at the leaves before
+        any per-point aggregate distance is charged; node-level pruning
+        is untouched (Heuristics 2/3 stay safe bounds for the live
+        records the traversal is actually after).
     """
     if traversal not in ("best_first", "depth_first"):
         raise ValueError(f"unknown traversal {traversal!r}")
@@ -77,11 +84,11 @@ def mbm(
         return GNNResult(neighbors=[], cost=tracker.finish())
 
     if is_flat:
-        _mbm_best_first_flat(tree, query, best, use_heuristic3)
+        _mbm_best_first_flat(tree, query, best, use_heuristic3, exclude)
     elif traversal == "best_first":
-        _mbm_best_first(tree, query, best, use_heuristic3)
+        _mbm_best_first(tree, query, best, use_heuristic3, exclude)
     else:
-        _mbm_depth_first(tree, tree.root, query, best, use_heuristic3)
+        _mbm_depth_first(tree, tree.root, query, best, use_heuristic3, exclude)
     return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
 
 
@@ -107,7 +114,7 @@ def _divisor(query: GroupQuery) -> float:
     return float(weights.min())
 
 
-def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
+def _mbm_best_first(tree, query, best, use_heuristic3, exclude=None) -> None:
     """Best-first MBM: the heap is ordered by mindist to the query MBR.
 
     Each popped node is scored with batched kernels: one call computes
@@ -130,7 +137,7 @@ def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
             break
         node = tree.read_node(node)
         if node.is_leaf:
-            _process_leaf(tree, node, query, best, divisor)
+            _process_leaf(tree, node, query, best, divisor, exclude)
             continue
         lows, highs = node.child_bounds()
         child_mindists = kernels.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
@@ -150,7 +157,7 @@ def _mbm_best_first(tree, query, best, use_heuristic3) -> None:
             )
 
 
-def _mbm_best_first_flat(flat, query, best, use_heuristic3) -> None:
+def _mbm_best_first_flat(flat, query, best, use_heuristic3, exclude=None) -> None:
     """Best-first MBM over a flat snapshot: arrays in, integer heap items out.
 
     Mirrors :func:`_mbm_best_first` decision for decision — the same
@@ -180,7 +187,7 @@ def _mbm_best_first_flat(flat, query, best, use_heuristic3) -> None:
         start = int(child_start[index])
         stop = start + int(child_count[index])
         if levels[index] == 0:
-            _process_leaf_flat(flat, start, stop, query, best, divisor, scorer)
+            _process_leaf_flat(flat, start, stop, query, best, divisor, scorer, exclude)
             continue
         lows = all_lows[start:stop]
         highs = all_highs[start:stop]
@@ -210,7 +217,9 @@ def _mbm_best_first_flat(flat, query, best, use_heuristic3) -> None:
             )
 
 
-def _process_leaf_flat(flat, start, stop, query, best, divisor, scorer=None) -> None:
+def _process_leaf_flat(
+    flat, start, stop, query, best, divisor, scorer=None, exclude=None
+) -> None:
     """Leaf consumption over the flat point matrix with a pure-float loop.
 
     The candidate selection (Heuristic-2 mask over the mindist ordering)
@@ -255,23 +264,25 @@ def _process_leaf_flat(flat, start, stop, query, best, divisor, scorer=None) -> 
     for position, offset in enumerate(candidates.tolist()):
         if full and candidate_mindists[position] >= best_dist / divisor:
             break
+        row = start + offset
+        if exclude is not None and int(record_ids[row]) in exclude:
+            continue
         consumed += 1
         distance = candidate_distances[position]
         if not full or distance < best_dist:
-            row = start + offset
             offer(int(record_ids[row]), points[row], distance)
             best_dist = best.best_dist
             full = best.is_full()
     flat.stats.record_distance_computations(query.cardinality * consumed)
 
 
-def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
+def _mbm_depth_first(tree, node, query, best, use_heuristic3, exclude=None) -> None:
     """Depth-first MBM following the walk-through of Figure 3.7."""
     query_mbr = query.mbr
     divisor = _divisor(query)
     node = tree.read_node(node)
     if node.is_leaf:
-        _process_leaf(tree, node, query, best, divisor)
+        _process_leaf(tree, node, query, best, divisor, exclude)
         return
     lows, highs = node.child_bounds()
     mindists = kernels.boxes_mindist_box(lows, highs, query_mbr.low, query_mbr.high)
@@ -286,10 +297,10 @@ def _mbm_depth_first(tree, node, query, best, use_heuristic3) -> None:
             tree.stats.record_distance_computations(query.cardinality)
             if heuristic3_prunes_precomputed(lower_bound, best.best_dist):
                 continue
-        _mbm_depth_first(tree, entry.child, query, best, use_heuristic3)
+        _mbm_depth_first(tree, entry.child, query, best, use_heuristic3, exclude)
 
 
-def _process_leaf(tree, node, query, best, divisor) -> None:
+def _process_leaf(tree, node, query, best, divisor, exclude=None) -> None:
     """Apply Heuristic 2 to leaf points before paying the full distance computation.
 
     The leaf's points are scored in two kernel calls: mindists to the
@@ -315,6 +326,8 @@ def _process_leaf(tree, node, query, best, divisor) -> None:
         if best.is_full() and heuristic2_prunes(float(mindists[index]), best.best_dist, divisor):
             break
         entry = node.entries[index]
+        if exclude is not None and entry.record_id in exclude:
+            continue
         tree.stats.record_distance_computations(query.cardinality)
         best.offer(entry.record_id, entry.point, float(distances[position]))
 

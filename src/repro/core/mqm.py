@@ -43,7 +43,9 @@ from repro.rtree.tree import RTree
 _TWO_ULP = 4.5e-16
 
 
-def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
+def mqm(
+    tree: RTree | FlatRTree, query: GroupQuery, exclude: frozenset | set | None = None
+) -> GNNResult:
     """Run the multiple query method and return the k group nearest neighbors.
 
     Parameters
@@ -57,6 +59,12 @@ def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
         The query group; ``query.aggregate`` must be ``"sum"`` — the
         threshold argument relies on the additivity of the aggregate
         (the paper only defines MQM for the sum).
+    exclude:
+        Optional set of record ids that must never enter the result —
+        the delta overlay's tombstones.  Excluded records still advance
+        the per-stream thresholds (they are real points of the index),
+        they are only barred from the best list, so the threshold
+        termination argument is unchanged.
     """
     if query.aggregate != "sum":
         raise ValueError("MQM is only defined for the sum aggregate")
@@ -69,13 +77,15 @@ def mqm(tree: RTree | FlatRTree, query: GroupQuery) -> GNNResult:
         return GNNResult(neighbors=[], cost=tracker.finish())
 
     if isinstance(tree, FlatRTree):
-        _mqm_flat(tree, query, best)
+        _mqm_flat(tree, query, best, exclude)
     else:
-        _mqm_object(tree, query, best)
+        _mqm_object(tree, query, best, exclude)
     return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
 
 
-def _mqm_object(tree: RTree, query: GroupQuery, best: BestList) -> None:
+def _mqm_object(
+    tree: RTree, query: GroupQuery, best: BestList, exclude=None
+) -> None:
     """The generator-per-stream reference implementation (object tree)."""
     # Sort query points by Hilbert value for locality of node accesses.
     order = hilbert_sort(query.points)
@@ -104,13 +114,16 @@ def _mqm_object(tree: RTree, query: GroupQuery, best: BestList) -> None:
             progressed = True
             thresholds[i] = neighbor.distance
             record_id = neighbor.record_id
-            if record_id in seen_distances:
-                distance = seen_distances[record_id]
-            else:
-                distance = query.distance_to_canonical(neighbor.point)
-                tree.stats.record_distance_computations(n)
-                seen_distances[record_id] = distance
-            best.offer(record_id, neighbor.point, distance)
+            # Tombstoned records advance the stream's threshold but are
+            # barred from the best list (and not charged a distance).
+            if exclude is None or record_id not in exclude:
+                if record_id in seen_distances:
+                    distance = seen_distances[record_id]
+                else:
+                    distance = query.distance_to_canonical(neighbor.point)
+                    tree.stats.record_distance_computations(n)
+                    seen_distances[record_id] = distance
+                best.offer(record_id, neighbor.point, distance)
             # Re-check the termination condition after every retrieval,
             # exactly as in the paper's pseudo-code (Figure 3.2).
             if best.is_full() and sum(thresholds) >= best.best_dist:
@@ -119,7 +132,9 @@ def _mqm_object(tree: RTree, query: GroupQuery, best: BestList) -> None:
             break
 
 
-def _mqm_flat(flat: FlatRTree, query: GroupQuery, best: BestList) -> None:
+def _mqm_flat(
+    flat: FlatRTree, query: GroupQuery, best: BestList, exclude=None
+) -> None:
     """Multi-stream MQM over a flat snapshot.
 
     One :class:`MultiStreamFrontier` replaces the ``n`` generators; the
@@ -204,10 +219,11 @@ def _mqm_flat(flat: FlatRTree, query: GroupQuery, best: BestList) -> None:
             slack += _TWO_ULP
             if record_id not in seen:
                 seen.add(record_id)
-                new_records += 1
-                offer(record_id, points[row], float(agg_by_row[row]))
-                best_dist = best.best_dist
-                full = best.is_full()
+                if exclude is None or record_id not in exclude:
+                    new_records += 1
+                    offer(record_id, points[row], float(agg_by_row[row]))
+                    best_dist = best.best_dist
+                    full = best.is_full()
             if (
                 full
                 and total + slack * (total + best_dist + 1.0) >= best_dist

@@ -36,6 +36,7 @@ def spm(
     query: GroupQuery,
     traversal: str = "best_first",
     centroid_method: str = "gradient",
+    exclude: frozenset | set | None = None,
 ) -> GNNResult:
     """Run the single point method.
 
@@ -54,6 +55,11 @@ def spm(
     centroid_method:
         Passed to :func:`repro.core.centroid.compute_centroid`; the paper
         uses gradient descent.
+    exclude:
+        Optional record ids barred from the result (delta-overlay
+        tombstones).  Excluded points are skipped before any aggregate
+        distance is charged; Heuristic 1's bound is unaffected because
+        it only depends on the centroid stream's emission order.
     """
     if query.aggregate != "sum":
         raise ValueError("SPM is only defined for the sum aggregate")
@@ -77,16 +83,16 @@ def spm(
     centroid_distance = group_distance(centroid, query.points)
 
     if is_flat:
-        _spm_best_first_flat(tree, query, centroid, centroid_distance, best)
+        _spm_best_first_flat(tree, query, centroid, centroid_distance, best, exclude)
     elif traversal == "best_first":
-        _spm_best_first(tree, query, centroid, centroid_distance, best)
+        _spm_best_first(tree, query, centroid, centroid_distance, best, exclude)
     else:
-        _spm_depth_first(tree, tree.root, query, centroid, centroid_distance, best)
+        _spm_depth_first(tree, tree.root, query, centroid, centroid_distance, best, exclude)
 
     return GNNResult(neighbors=best.neighbors(), cost=tracker.finish())
 
 
-def _spm_best_first(tree, query, centroid, centroid_distance, best) -> None:
+def _spm_best_first(tree, query, centroid, centroid_distance, best, exclude=None) -> None:
     """Consume an incremental NN stream around the centroid until Heuristic 1 fires."""
     n = query.cardinality
 
@@ -110,12 +116,16 @@ def _spm_best_first(tree, query, centroid, centroid_distance, best) -> None:
         # first point failing Heuristic 1 terminates the whole search.
         if heuristic1_prunes_point(neighbor.distance, best.best_dist, centroid_distance, n):
             break
+        if exclude is not None and neighbor.record_id in exclude:
+            continue
         distance = query.distance_to_canonical(neighbor.point)
         tree.stats.record_distance_computations(n)
         best.offer(neighbor.record_id, neighbor.point, distance)
 
 
-def _spm_best_first_flat(flat, query, centroid, centroid_distance, best) -> None:
+def _spm_best_first_flat(
+    flat, query, centroid, centroid_distance, best, exclude=None
+) -> None:
     """Flat-snapshot SPM: batched keys *and* batched aggregate distances.
 
     The stream scores whole leaf slices per pop and carries the exact
@@ -165,6 +175,8 @@ def _spm_best_first_flat(flat, query, centroid, centroid_distance, best) -> None
     for neighbor in stream:
         if neighbor.distance >= (best_dist + centroid_distance) / n:
             break
+        if exclude is not None and neighbor.record_id in exclude:
+            continue
         consumed += 1
         distance = neighbor.aux
         if not full or distance < best_dist:
@@ -174,7 +186,9 @@ def _spm_best_first_flat(flat, query, centroid, centroid_distance, best) -> None
     flat.stats.record_distance_computations(n * consumed)
 
 
-def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> None:
+def _spm_depth_first(
+    tree, node, query, centroid, centroid_distance, best, exclude=None
+) -> None:
     """Recursive depth-first SPM following Figure 3.4 of the paper."""
     n = query.cardinality
     node = tree.read_node(node)
@@ -187,6 +201,8 @@ def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> No
             ):
                 break
             entry = node.entries[index]
+            if exclude is not None and entry.record_id in exclude:
+                continue
             distance = query.distance_to_canonical(entry.point)
             tree.stats.record_distance_computations(n)
             best.offer(entry.record_id, entry.point, distance)
@@ -198,4 +214,6 @@ def _spm_depth_first(tree, node, query, centroid, centroid_distance, best) -> No
             float(mindists[index]), best.best_dist, centroid_distance, n
         ):
             break
-        _spm_depth_first(tree, node.entries[index].child, query, centroid, centroid_distance, best)
+        _spm_depth_first(
+            tree, node.entries[index].child, query, centroid, centroid_distance, best, exclude
+        )

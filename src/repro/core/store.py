@@ -1,0 +1,164 @@
+"""Append-only point storage backing the engine's mutable write path.
+
+The engine used to keep the dataset as a bare ``(N, dims)`` array and
+``np.vstack`` a fresh copy on every insert — O(n²) ingest — while record
+ids were assigned as ``len(points)``, which collides with a live record
+after any deletion.  :class:`PointStore` fixes both: points land in an
+amortised capacity-doubling buffer (appends are O(1) amortised), record
+ids are allocated from a monotonic counter and never reused, and deletes
+only flip a liveness bit so every historical id keeps meaning the same
+point forever.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.point import as_points
+
+#: Smallest buffer allocation; doubling starts from here for empty stores.
+_INITIAL_ROWS = 16
+
+
+class PointStore:
+    """Amortised append-only ``(rows, dims)`` storage with a deletion mask.
+
+    Rows are immutable once appended.  ``live_points()`` is the read
+    surface: it returns the live dataset and (when they differ from the
+    row positions) the matching record ids, cached until the next
+    mutation, so query paths pay the compaction cost once per write
+    burst instead of once per query.
+    """
+
+    def __init__(self, points=None, record_ids=None, dims: int | None = None):
+        if points is not None:
+            pts = as_points(points)
+            count, dims = pts.shape
+        else:
+            if dims is None:
+                raise ValueError("PointStore needs initial points or an explicit dims")
+            count = 0
+            pts = np.empty((0, int(dims)), dtype=np.float64)
+        self.dims = int(dims)
+        rows = max(_INITIAL_ROWS, count)
+        self._data = np.empty((rows, self.dims), dtype=np.float64)
+        self._data[:count] = pts
+        self._ids = np.empty(rows, dtype=np.int64)
+        self._live = np.ones(rows, dtype=bool)
+        self._count = count
+        self._deleted = 0
+        self._row_by_id: dict[int, int] | None = None
+        if record_ids is None:
+            self._ids[:count] = np.arange(count, dtype=np.int64)
+            self._identity = True
+            self._max_id = count - 1
+        else:
+            ids = np.asarray(record_ids, dtype=np.int64)
+            if ids.shape != (count,):
+                raise ValueError(
+                    f"record_ids must be a vector of length {count}, got shape {ids.shape}"
+                )
+            self._ids[:count] = ids
+            self._identity = count == 0 or bool(
+                np.array_equal(ids, np.arange(count, dtype=np.int64))
+            )
+            self._max_id = int(ids.max()) if count else -1
+        self._cache: tuple[np.ndarray, np.ndarray | None] | None = None
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of *live* points."""
+        return self._count - self._deleted
+
+    @property
+    def appended(self) -> int:
+        """Total rows ever appended (live + deleted)."""
+        return self._count
+
+    @property
+    def next_record_id(self) -> int:
+        """The next id a monotonic allocator may hand out (never reused)."""
+        return self._max_id + 1
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def append(self, point, record_id: int | None = None) -> int:
+        """Append one point; returns its record id (amortised O(1))."""
+        if record_id is None:
+            record_id = self.next_record_id
+        record_id = int(record_id)
+        row = self._count
+        if row == self._data.shape[0]:
+            grown = max(_INITIAL_ROWS, 2 * self._data.shape[0])
+            data = np.empty((grown, self.dims), dtype=np.float64)
+            data[:row] = self._data[:row]
+            self._data = data
+            ids = np.empty(grown, dtype=np.int64)
+            ids[:row] = self._ids[:row]
+            self._ids = ids
+            live = np.ones(grown, dtype=bool)
+            live[:row] = self._live[:row]
+            self._live = live
+        self._data[row] = np.asarray(point, dtype=np.float64)
+        self._ids[row] = record_id
+        self._live[row] = True
+        self._count = row + 1
+        self._identity = self._identity and record_id == row
+        self._max_id = max(self._max_id, record_id)
+        if self._row_by_id is not None:
+            self._row_by_id[record_id] = row
+        self._cache = None
+        return record_id
+
+    def delete(self, record_id: int) -> bool:
+        """Mark a record dead; returns False when unknown or already dead."""
+        row = self._row_of(int(record_id))
+        if row is None or not self._live[row]:
+            return False
+        self._live[row] = False
+        self._deleted += 1
+        self._cache = None
+        return True
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def _row_of(self, record_id: int) -> int | None:
+        if self._identity:
+            return record_id if 0 <= record_id < self._count else None
+        if self._row_by_id is None:
+            ids = self._ids[: self._count]
+            self._row_by_id = {int(rid): row for row, rid in enumerate(ids)}
+        return self._row_by_id.get(record_id)
+
+    def is_live(self, record_id: int) -> bool:
+        row = self._row_of(int(record_id))
+        return row is not None and bool(self._live[row])
+
+    def get_point(self, record_id: int) -> np.ndarray | None:
+        """The coordinates stored under ``record_id`` (live or dead)."""
+        row = self._row_of(int(record_id))
+        if row is None:
+            return None
+        return np.array(self._data[row], dtype=np.float64)
+
+    def live_points(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """``(points, record_ids)`` of the live rows, in append order.
+
+        ``record_ids`` is ``None`` on the fast path — no deletions and
+        row-index ids — meaning "row index *is* the record id", which is
+        what the brute-force scan and batch executor assume by default.
+        """
+        if self._cache is None:
+            if self._deleted == 0:
+                points = self._data[: self._count]
+                ids = None if self._identity else self._ids[: self._count]
+            else:
+                mask = self._live[: self._count]
+                points = self._data[: self._count][mask]
+                ids = self._ids[: self._count][mask]
+            self._cache = (points, ids)
+        return self._cache

@@ -10,13 +10,16 @@ The package provides:
   :mod:`repro.rtree.closest_pairs` (needed by the GCP algorithm of
   Section 4.1 of the paper),
 * node-access accounting in :mod:`repro.rtree.stats`, which the paper's
-  experiments report as "NA".
+  experiments report as "NA",
+* a mutable view over a frozen snapshot — delta tree plus tombstones —
+  in :mod:`repro.rtree.overlay` (the engine's LSM-style write path).
 """
 
 from repro.rtree.closest_pairs import incremental_closest_pairs
 from repro.rtree.entry import ChildEntry, LeafEntry
 from repro.rtree.flat import FlatRTree
 from repro.rtree.node import Node
+from repro.rtree.overlay import DeltaOverlay
 from repro.rtree.stats import TreeStats
 from repro.rtree.traversal import (
     best_first_nearest,
@@ -29,6 +32,7 @@ from repro.rtree.tree import RTree
 
 __all__ = [
     "ChildEntry",
+    "DeltaOverlay",
     "FlatRTree",
     "LeafEntry",
     "Node",

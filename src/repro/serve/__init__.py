@@ -12,7 +12,12 @@ package into a one-machine server:
   not one per request;
 * admission control sheds load past a bounded high-water mark, and a
   hot-swap path publishes successor snapshots (generation tokens) that
-  workers pick up between batches, without dropping a single request.
+  workers pick up between batches, without dropping a single request;
+* a :class:`CompactingWriter` gives the served snapshot a write path:
+  inserts and deletes land in the engine's delta overlay, and once the
+  dirty ratio crosses a threshold the overlay is folded into a
+  generation-``N+1`` snapshot and published through the same hot-swap —
+  readers never block and never see a half-applied write.
 
 Quickstart::
 
@@ -25,6 +30,7 @@ Answers are bit-identical to sequential ``engine.execute`` — batching
 and parallelism change the schedule, never the arithmetic.
 """
 
+from repro.serve.compaction import CompactingWriter
 from repro.serve.protocol import check_servable
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.server import (
@@ -39,6 +45,7 @@ from repro.serve.stats import ServerStats, ServingCounters
 
 __all__ = [
     "AsyncServerHandle",
+    "CompactingWriter",
     "GNNServer",
     "MicroBatcher",
     "ServerHandle",

@@ -8,7 +8,11 @@ process-pool :class:`~repro.serve.server.GNNServer`); and a
 :class:`ShardCoordinator` — or its engine facade :class:`ShardedEngine`
 — answers queries by best-first scatter-gather over the federation,
 pruning shards with the paper's Heuristic-2 bound applied to shard
-root MBRs.
+root MBRs.  :class:`ShardWriter` is the federation's write path: it
+Hilbert-routes inserts and deletes into per-shard delta overlays
+(federation-global record ids) and compacts dirty shards into
+generation-``N+1`` snapshots plus an updated manifest, which live
+nodes absorb via :meth:`ShardNode.swap_snapshot`.
 
 The minimal end-to-end recipe::
 
@@ -30,6 +34,7 @@ from repro.shard.launch import ShardNodeProcess
 from repro.shard.manifest import MANIFEST_FILENAME, ShardInfo, ShardManifest
 from repro.shard.node import ShardNode
 from repro.shard.partition import partition_dataset, partition_points, shard_snapshot_name
+from repro.shard.writes import ShardWriter
 
 __all__ = [
     "CoordinatorStats",
@@ -41,6 +46,7 @@ __all__ = [
     "ShardNodeProcess",
     "ShardQueryError",
     "ShardUnavailableError",
+    "ShardWriter",
     "ShardedEngine",
     "partition_dataset",
     "partition_points",

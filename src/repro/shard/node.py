@@ -154,6 +154,21 @@ class ShardNode:
         """The wrapped :class:`GNNServer`'s statistics snapshot."""
         return self._server.stats()
 
+    def swap_snapshot(self, path) -> int:
+        """Hot-swap this node onto a compacted successor snapshot.
+
+        Passthrough to :meth:`GNNServer.swap_snapshot`: in-flight
+        batches finish on the old mapping, later ones answer from the
+        new file.  Coordinators see the new generation in the next pong.
+        Returns the new epoch.
+        """
+        epoch = self._server.swap_snapshot(path)
+        probe = FlatRTree.load(path, mmap_mode="r")
+        self.snapshot_path = str(path)
+        self.generation = probe.generation
+        self.size = probe.size
+        return epoch
+
     def __repr__(self) -> str:
         return (
             f"ShardNode(shard_id={self.shard_id}, address={self.address}, "

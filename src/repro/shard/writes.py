@@ -1,0 +1,225 @@
+"""The federation's write path: per-shard overlays and compaction.
+
+:class:`ShardWriter` extends the LSM-style write path of a single
+engine (:class:`~repro.rtree.overlay.DeltaOverlay` plus
+:meth:`~repro.core.engine.GNNEngine.compact`) across a partitioned
+dataset.  It opens one snapshot-only engine per shard (memory-mapped,
+nothing copied), routes every insert to the shard owning the point's
+Hilbert key — the same curve the partitioner cut on, so writes land in
+the shard whose root MBR already covers them and the federation-level
+pruning stays tight — and allocates *federation-global* record ids, so
+a sharded top-k and a single-index top-k keep speaking the same
+identifier space after any number of writes.
+
+Compaction is per shard: each dirty overlay folds into a
+generation-``N+1`` ``shard-XXX-genNNNNNN.npz`` and the manifest row is
+rebuilt (count, root MBR, Hilbert range, record sample) from the live
+points.  The new ``manifest.json`` is written *last*, mirroring the
+partitioner's discipline — a manifest on disk never names snapshot
+files that do not exist yet, so a coordinator (re)connecting mid-write
+always finds a consistent federation.  Live :class:`ShardNode`\\ s pick
+the new files up through :meth:`ShardNode.swap_snapshot`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engine import GNNEngine
+from repro.geometry.hilbert import DEFAULT_ORDER, hilbert_indices
+from repro.rtree.flat import FlatRTree
+from repro.shard.manifest import ShardInfo, ShardManifest
+from repro.shard.partition import sample_rows, shard_snapshot_name
+
+
+class ShardWriter:
+    """Route inserts/deletes into per-shard overlays; compact per shard.
+
+    Parameters
+    ----------
+    directory:
+        A partition directory written by
+        :func:`~repro.shard.partition.partition_dataset` (holds the
+        shard ``.npz`` files and ``manifest.json``).
+    manifest:
+        Optional already-loaded :class:`ShardManifest`; loaded from
+        ``directory`` when omitted.
+    order:
+        Hilbert curve order used for routing; must match the order the
+        dataset was partitioned with (the default matches the
+        partitioner's default).
+    """
+
+    def __init__(self, directory, manifest: ShardManifest | None = None, *,
+                 order: int = DEFAULT_ORDER):
+        self.directory = Path(directory)
+        self.manifest = manifest or ShardManifest.load(self.directory)
+        self._order = int(order)
+        self._engines: dict[int, GNNEngine] = {}
+        self._next_id: int | None = None
+
+    # ------------------------------------------------------------------
+    # per-shard engines
+    # ------------------------------------------------------------------
+    def engine(self, shard_id: int) -> GNNEngine:
+        """The shard's snapshot-only engine (opened lazily, mmap'd)."""
+        engine = self._engines.get(shard_id)
+        if engine is None:
+            path = self.directory / self.manifest.shards[shard_id].path
+            flat = FlatRTree.load(path, mmap_mode="r")
+            engine = self._engines[shard_id] = GNNEngine.from_index(flat)
+        return engine
+
+    def dirty_shards(self) -> list[int]:
+        """Shard ids with uncompacted overlay writes."""
+        return [
+            shard_id
+            for shard_id, engine in sorted(self._engines.items())
+            if engine.dirty
+        ]
+
+    # ------------------------------------------------------------------
+    # routing and id allocation
+    # ------------------------------------------------------------------
+    def route(self, point) -> int:
+        """The shard owning ``point``'s Hilbert key.
+
+        Keys inside a shard's ``[hilbert_low, hilbert_high]`` range route
+        there; keys falling between ranges (space vacated by the cuts)
+        go to the shard whose range starts closest above the key — the
+        same side :func:`numpy.array_split` gave that gap's points at
+        partition time.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(1, -1)
+        if point.shape[1] != self.manifest.dims:
+            raise ValueError(
+                f"point is {point.shape[1]}-d; the federation is "
+                f"{self.manifest.dims}-d"
+            )
+        key = int(hilbert_indices(point, self._order)[0])
+        for shard in self.manifest.shards:
+            if shard.hilbert_low <= key <= shard.hilbert_high:
+                return shard.shard_id
+        for shard in self.manifest.shards:
+            if key < shard.hilbert_low:
+                return shard.shard_id
+        return self.manifest.shards[-1].shard_id
+
+    @property
+    def next_record_id(self) -> int:
+        """The next federation-global record id (monotonic, never reused)."""
+        if self._next_id is None:
+            top = -1
+            for shard in self.manifest.shards:
+                flat = FlatRTree.load(
+                    self.directory / shard.path, mmap_mode="r"
+                )
+                if flat.size:
+                    top = max(top, int(np.asarray(flat.record_ids).max()))
+            self._next_id = top + 1
+        return self._next_id
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, point) -> tuple[int, int]:
+        """Insert one point; returns ``(shard_id, record_id)``.
+
+        The id comes from the federation-global allocator, the point
+        lands in its Hilbert-routed shard's overlay.
+        """
+        shard_id = self.route(point)
+        record_id = self.next_record_id
+        self.engine(shard_id).insert(point, record_id=record_id)
+        self._next_id = record_id + 1
+        return shard_id, record_id
+
+    def delete(self, point, record_id: int) -> int | None:
+        """Delete one record; returns its shard id, or ``None`` if absent.
+
+        The Hilbert-routed shard is tried first; ties at partition cut
+        boundaries (equal keys split across adjacent shards) fall back
+        to probing the remaining shards — deletion verifies coordinates
+        *and* id, so a probe can never remove the wrong record.
+        """
+        first = self.route(point)
+        order = [first] + [
+            shard.shard_id
+            for shard in self.manifest.shards
+            if shard.shard_id != first
+        ]
+        for shard_id in order:
+            if self.engine(shard_id).delete(point, record_id):
+                return shard_id
+        return None
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+    def compact(self, shard_ids=None) -> ShardManifest:
+        """Fold dirty overlays into generation-``N+1`` shard snapshots.
+
+        ``shard_ids`` restricts compaction (default: every dirty
+        shard).  Untouched shards keep their existing files; the new
+        manifest mixes generations by design — each row's ``path`` is
+        authoritative.  Returns (and installs) the new manifest, written
+        to disk after every named snapshot exists.
+        """
+        targets = self.dirty_shards() if shard_ids is None else sorted(shard_ids)
+        if not targets:
+            return self.manifest
+        generation = self.manifest.generation + 1
+        rows = list(self.manifest.shards)
+        for shard_id in targets:
+            engine = self.engine(shard_id)
+            if not engine.dirty:
+                continue
+            if len(engine) == 0:
+                raise ValueError(
+                    f"compacting shard {shard_id} would leave it empty; "
+                    "re-partition the dataset instead"
+                )
+            flat = engine.compact(capacity=self.manifest.capacity)
+            flat.generation = generation
+            name = shard_snapshot_name(shard_id, generation)
+            flat.save(self.directory / name, generation=generation)
+            rows[shard_id] = self._describe(shard_id, name, flat)
+        manifest = ShardManifest(
+            dims=self.manifest.dims,
+            size=sum(row.count for row in rows),
+            capacity=self.manifest.capacity,
+            generation=generation,
+            shards=tuple(rows),
+        )
+        manifest.save(self.directory)
+        self.manifest = manifest
+        return manifest
+
+    def _describe(self, shard_id: int, name: str, flat: FlatRTree) -> ShardInfo:
+        """Rebuild one manifest row from a compacted shard snapshot."""
+        points = np.asarray(flat.points, dtype=np.float64)
+        keys = hilbert_indices(points, self._order)
+        ranked = np.argsort(keys, kind="stable")
+        low, high = flat.root_mbr()
+        return ShardInfo(
+            shard_id=shard_id,
+            path=name,
+            count=int(flat.size),
+            root_low=tuple(float(v) for v in low),
+            root_high=tuple(float(v) for v in high),
+            hilbert_low=int(keys.min()),
+            hilbert_high=int(keys.max()),
+            sample=tuple(
+                tuple(float(v) for v in points[row])
+                for row in sample_rows(ranked)
+            ),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWriter(shards={self.manifest.shard_count}, "
+            f"generation={self.manifest.generation}, "
+            f"dirty={self.dirty_shards()})"
+        )

@@ -411,3 +411,81 @@ class TestSharedTraversalBatchConformance:
         for outcome in outcomes:
             assert outcome.cost.algorithm != "MBM-batch"
             assert outcome.record_ids() == reference.record_ids()
+
+
+class TestMutationConformance:
+    """The matrix under mutation: interleaved insert/delete/query rounds.
+
+    The engine under test is shaped by ``REPRO_FLAT_CONFORMANCE`` like the
+    rest of this module — ``""`` mutates a tree-backed engine before its
+    snapshot exists, ``memory`` mutates through a delta overlay on an
+    eagerly built snapshot, ``mmap`` mutates a snapshot-only engine over
+    a read-only memory map (the overlay is its only write path).  After
+    every round each algorithm must agree with brute force over the
+    independently tracked live dataset, and folding the overlay away with
+    :meth:`GNNEngine.compact` must not change a single answer.
+    """
+
+    ALGORITHMS = ("mqm", "spm", "mbm", "best-first", "brute-force")
+
+    @pytest.fixture()
+    def mutable_engine(self, dataset, tmp_path):
+        from repro.core.engine import GNNEngine
+
+        if FLAT_MODE == "mmap":
+            path = tmp_path / "mutation-base.npz"
+            GNNEngine(dataset, capacity=16).snapshot().save(path)
+            return GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        engine = GNNEngine(dataset, capacity=16)
+        if FLAT_MODE == "memory":
+            engine.snapshot()
+        return engine
+
+    def test_interleaved_mutation_rounds_agree_with_brute_force(
+        self, mutable_engine, dataset
+    ):
+        engine = mutable_engine
+        rng = np.random.default_rng(SEED + 21)
+        live = {i: np.array(row) for i, row in enumerate(dataset)}
+        groups = _shared_groups()
+        for round_no in range(4):
+            victims = rng.choice(sorted(live), size=12, replace=False)
+            for rid in victims:
+                assert engine.delete(live[int(rid)], int(rid)), round_no
+                del live[int(rid)]
+            for _ in range(9):
+                point = rng.uniform(0, 1000, size=2)
+                rid = engine.insert(point)
+                assert rid not in live
+                live[rid] = point
+            ids = np.array(sorted(live), dtype=np.int64)
+            points = np.vstack([live[int(i)] for i in ids])
+            for group in groups:
+                spec_base = QuerySpec(group=group, k=5)
+                reference = brute_force_gnn(
+                    points, spec_base.group_query(), record_ids=ids
+                )
+                for name in self.ALGORITHMS:
+                    result = engine.execute(
+                        QuerySpec(group=group, k=5, algorithm=name)
+                    )
+                    _assert_matches_reference(
+                        result, reference, f"round {round_no} {name}"
+                    )
+        # Compaction folds the overlay into a fresh base without moving
+        # one answer.
+        before = [
+            engine.execute(QuerySpec(group=group, k=5, algorithm=name))
+            for group in groups
+            for name in self.ALGORITHMS
+        ]
+        engine.compact()
+        assert not engine.dirty
+        after = [
+            engine.execute(QuerySpec(group=group, k=5, algorithm=name))
+            for group in groups
+            for name in self.ALGORITHMS
+        ]
+        for first, second in zip(before, after):
+            assert first.record_ids() == second.record_ids()
+            assert first.distances() == second.distances()

@@ -167,8 +167,10 @@ class TestSharedTraversalBatches:
 
         Before the executor pinned the snapshot up front, every
         flat-capable plan could independently reach the engine's lazy
-        builder — after an interleaved insert invalidated the cache,
-        nothing guaranteed a single rebuild for the whole batch.
+        builder.  Since the delta overlay, writes never invalidate the
+        snapshot at all: an insert lands in the overlay and batches keep
+        the original base — zero rebuilds, ever, with answers still
+        matching per-query execute.
         """
         engine = GNNEngine(small_points, capacity=16)
         builds = []
@@ -186,13 +188,14 @@ class TestSharedTraversalBatches:
         engine.execute_many(specs)
         assert len(builds) == 1  # cached snapshot reused across batches
 
-        engine.insert([500.0, 500.0])  # invalidates the snapshot
+        engine.insert([500.0, 500.0])  # absorbed by the delta overlay
+        assert engine.dirty
         batch = engine.execute_many(specs)
-        assert len(builds) == 2  # exactly one rebuild for the whole batch
+        assert len(builds) == 1  # no rebuild: the overlay shadows the base
         for spec, outcome in zip(specs, batch):
             single = engine.execute(spec)
             assert outcome.record_ids() == single.record_ids()
-        assert len(builds) == 2  # per-query execute reuses it too
+        assert len(builds) == 1  # per-query execute stays on the overlay too
 
     def test_insert_invalidation_never_serves_stale_batch_answers(self, rng):
         """An insert between batches must be visible to the next batch.

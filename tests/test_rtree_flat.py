@@ -342,14 +342,23 @@ class TestEngineIntegration:
         )
         assert engine.flat is None  # lazy provider was never invoked
 
-    def test_insert_invalidates_snapshot(self, engine):
+    def test_insert_overlays_snapshot_instead_of_invalidating(self, engine):
         spec = QuerySpec(group=[[400.0, 400.0]], k=1)
         engine.execute(spec)
-        assert engine.flat is not None
-        engine.insert([123.0, 456.0])
-        assert engine.flat is None
-        engine.execute(spec)  # rebuilt lazily
-        assert engine.flat is not None and len(engine.flat) == len(engine.points)
+        base = engine.flat
+        assert base is not None
+        inserted = engine.insert([400.0, 400.0])
+        # The base snapshot survives untouched; the write sits in the
+        # overlay and snapshot-routed queries answer from the merged view.
+        assert engine.flat is base
+        assert engine.dirty
+        assert engine.execute(spec).record_ids() == [inserted]
+        # Compaction folds the overlay into a generation-N+1 snapshot.
+        compacted = engine.compact()
+        assert not engine.dirty
+        assert compacted.generation == base.generation + 1
+        assert len(compacted) == len(engine.points)
+        assert engine.execute(spec).record_ids() == [inserted]
 
     def test_spec_index_flat_without_snapshot_fails_actionably(self, dataset):
         engine = GNNEngine(dataset, capacity=16, snapshot=False)
@@ -400,14 +409,20 @@ class TestEngineIntegration:
         spec = QuerySpec(group=rng.uniform(300, 700, size=(4, 2)), k=3, algorithm="brute-force")
         assert readonly.execute(spec).record_ids() == engine.execute(spec).record_ids()
 
-    def test_from_index_is_read_only(self, engine, tmp_path):
+    def test_from_index_accepts_writes_via_overlay(self, engine, tmp_path):
+        # from_index engines used to reject writes outright; the delta
+        # overlay is their write path now — the mmap'd base stays frozen.
         path = tmp_path / "engine.npz"
         engine.snapshot().save(path)
-        readonly = GNNEngine.from_index(FlatRTree.load(path))
-        with pytest.raises(ValueError, match="read-only"):
-            readonly.insert([1.0, 2.0])
+        writable = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        size = len(writable)
+        inserted = writable.insert([400.0, 400.0])
+        assert writable.dirty and len(writable) == size + 1
+        spec = QuerySpec(group=[[400.0, 400.0]], k=1)
+        assert writable.execute(spec).record_ids() == [inserted]
+        # Disk-resident specs still need the object tree.
         with pytest.raises(ValueError, match="disk-resident"):
-            readonly.execute(
+            writable.execute(
                 QuerySpec(
                     group=np.zeros((60, 2)),
                     residency="disk",

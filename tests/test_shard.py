@@ -565,21 +565,36 @@ class TestFailureSemantics:
 
     def test_semantic_errors_do_not_degrade(self, small_federation, rng):
         """A spec the shard rejects is a query error even under
-        allow_degraded — not a liveness problem.  Brute force is the
-        driver: shard snapshots carry global record ids, so nodes
-        cannot reconstruct a positional dataset for it."""
+        allow_degraded — not a liveness problem.  Disk-resident specs
+        are the driver: shard nodes hold only flat snapshots, never the
+        object R-tree the disk algorithms stream against."""
         _, manifest, _, addresses = small_federation
         with ShardCoordinator(
             manifest, addresses, timeout_s=30.0, allow_degraded=True
         ) as coordinator:
-            with pytest.raises(ShardQueryError, match="brute force"):
+            with pytest.raises(ShardQueryError, match="disk-resident"):
                 coordinator.execute(
                     QuerySpec(
                         group=rng.uniform(0, 1000, size=(3, 2)),
                         k=1,
-                        algorithm="brute-force",
+                        residency="disk",
+                        algorithm="fmqm",
                     )
                 )
+
+    def test_brute_force_runs_federated_over_snapshot_ids(
+        self, small_federation, rng
+    ):
+        """Brute force scans each shard snapshot in record-id order, so
+        the federated answer matches a single-index scan exactly even
+        though shards carry global (gappy) record ids."""
+        points, manifest, _, addresses = small_federation
+        group = rng.uniform(0, 1000, size=(3, 2))
+        spec = QuerySpec(group=group, k=4, algorithm="brute-force")
+        reference = GNNEngine(points, capacity=16).execute(spec)
+        with ShardCoordinator(manifest, addresses, timeout_s=30.0) as coordinator:
+            result = coordinator.execute(spec)
+            assert as_tuples(result) == as_tuples(reference)
 
     def test_mismatched_dimensionality_fails_at_submit(self, small_federation, rng):
         _, manifest, _, addresses = small_federation

@@ -1,0 +1,609 @@
+"""The mutable write path: PointStore, DeltaOverlay, engine mutations,
+overlay execution, compaction, and the serving/sharding write APIs.
+
+Three historical engine bugs are pinned here as regression tests:
+
+* calling ``tree.delete`` directly (the only delete path that existed)
+  left ``engine.points`` and the cached flat snapshot stale, so
+  snapshot-routed queries kept returning deleted records —
+  ``engine.delete`` now updates every view together;
+* ``engine.insert`` used to assign ``record_id = len(self.points)``,
+  which collides with a live record after any deletion — ids now come
+  from a monotonic never-reused counter;
+* ``engine.insert`` used to ``np.vstack`` the whole dataset per call
+  (O(n²) ingest) — :class:`PointStore` appends into an amortised
+  doubling buffer.
+
+The overlay invariant checked throughout: queries over a dirty
+(base + delta − tombstones) view are bit-identical — record ids *and*
+distances — to a from-scratch rebuild over the live dataset.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import QuerySpec
+from repro.core.bruteforce import brute_force_gnn
+from repro.core.engine import GNNEngine
+from repro.core.store import PointStore
+from repro.core.types import GroupQuery
+from repro.rtree.flat import FlatRTree
+from repro.rtree.overlay import DeltaOverlay
+
+SEED = 20040301
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(SEED)
+
+
+@pytest.fixture()
+def dataset(rng):
+    return rng.uniform(0, 1000, size=(400, 2))
+
+
+ALGORITHMS = ("mqm", "spm", "mbm", "best-first", "brute-force")
+
+
+def _rebuilt_reference(engine, capacity=16):
+    """An engine over the live dataset, rebuilt from scratch with ids kept."""
+    points, ids = engine.overlay.live_points()
+    return GNNEngine.from_index(
+        FlatRTree.bulk_load(points, capacity=capacity, record_ids=ids)
+    )
+
+
+def _assert_identical(result, reference, label):
+    assert result.record_ids() == reference.record_ids(), label
+    assert np.array_equal(result.distances(), reference.distances()), label
+
+
+# ----------------------------------------------------------------------
+# PointStore
+# ----------------------------------------------------------------------
+class TestPointStore:
+    def test_append_and_live_points_identity_fast_path(self, dataset):
+        store = PointStore(dataset)
+        points, ids = store.live_points()
+        assert ids is None  # row index == record id, nothing materialised
+        assert np.array_equal(points, dataset)
+        assert len(store) == 400
+
+    def test_delete_breaks_identity_and_maps_ids(self, dataset):
+        store = PointStore(dataset)
+        assert store.delete(5)
+        assert not store.delete(5)  # double delete is a no-op
+        points, ids = store.live_points()
+        assert ids is not None
+        assert 5 not in set(ids.tolist())
+        assert points.shape[0] == 399
+        row = list(ids).index(6)
+        assert np.array_equal(points[row], dataset[6])
+
+    def test_next_record_id_is_monotonic_across_deletes(self, dataset):
+        store = PointStore(dataset)
+        assert store.next_record_id == 400
+        store.delete(399)
+        # The old rule (len(points)) would re-issue 399 here.
+        assert store.next_record_id == 400
+        assigned = store.append([1.0, 2.0])
+        assert assigned == 400
+        store.delete(400)
+        assert store.append([3.0, 4.0]) == 401
+
+    def test_append_is_amortised_not_per_call_copy(self):
+        store = PointStore(dims=2)
+        buffers = set()
+        for i in range(100):
+            store.append([float(i), float(i)])
+            buffers.add(id(store._data))
+        # A per-append vstack would allocate 100 buffers; doubling from
+        # 16 rows needs only a handful of growth steps.
+        assert len(buffers) <= 5
+        points, ids = store.live_points()
+        assert ids is None and points.shape == (100, 2)
+
+    def test_explicit_record_ids_round_trip(self):
+        store = PointStore(
+            np.array([[0.0, 0.0], [1.0, 1.0]]), record_ids=np.array([7, 9])
+        )
+        points, ids = store.live_points()
+        assert ids.tolist() == [7, 9]
+        assert store.next_record_id == 10
+
+
+# ----------------------------------------------------------------------
+# DeltaOverlay
+# ----------------------------------------------------------------------
+class TestDeltaOverlay:
+    @pytest.fixture()
+    def base(self, dataset):
+        return FlatRTree.bulk_load(dataset, capacity=16)
+
+    def test_shape_and_dirty_accounting(self, base, dataset):
+        overlay = DeltaOverlay(base)
+        assert not overlay.dirty and overlay.dirty_ratio == 0.0
+        overlay.insert([1.0, 1.0], 400)
+        assert overlay.delete(dataset[3], 3)
+        assert overlay.dirty
+        assert overlay.write_count == 2
+        assert len(overlay) == 400  # 400 − 1 + 1
+        assert overlay.dirty_ratio == pytest.approx(2 / 400)
+        assert overlay.next_record_id == 401
+
+    def test_duplicate_live_id_rejected(self, base):
+        overlay = DeltaOverlay(base)
+        with pytest.raises(ValueError, match="already live"):
+            overlay.insert([1.0, 1.0], 3)  # base-resident
+        overlay.insert([1.0, 1.0], 400)
+        with pytest.raises(ValueError, match="already live"):
+            overlay.insert([2.0, 2.0], 400)  # delta-resident
+
+    def test_delete_semantics(self, base, dataset):
+        overlay = DeltaOverlay(base)
+        overlay.insert([5.0, 5.0], 400)
+        # delta-resident: removed physically, no tombstone
+        assert overlay.delete([5.0, 5.0], 400)
+        assert len(overlay.delta) == 0 and not overlay.tombstones
+        # base-resident: tombstoned, base untouched
+        assert overlay.delete(dataset[10], 10)
+        assert overlay.tombstones == {10}
+        assert base.size == 400
+        # wrong coordinates never delete
+        assert not overlay.delete(dataset[11] + 1.0, 11)
+        # unknown / already-dead ids report False
+        assert not overlay.delete(dataset[10], 10)
+        assert not overlay.delete([0.0, 0.0], 999)
+
+    def test_live_points_are_id_ordered_and_exact(self, base, dataset):
+        overlay = DeltaOverlay(base)
+        overlay.delete(dataset[0], 0)
+        overlay.insert([9.0, 9.0], 401)
+        overlay.insert([8.0, 8.0], 400)
+        points, ids = overlay.live_points()
+        assert ids.tolist() == list(range(1, 402))
+        assert np.array_equal(points[-2], [8.0, 8.0])
+        assert np.array_equal(points[-1], [9.0, 9.0])
+
+    def test_group_nn_stream_merges_and_skips_tombstones(self, base, dataset, rng):
+        overlay = DeltaOverlay(base)
+        for rid in range(0, 40, 2):
+            overlay.delete(dataset[rid], rid)
+        for i in range(10):
+            overlay.insert(rng.uniform(0, 1000, size=2), 400 + i)
+        query = GroupQuery(rng.uniform(200, 800, size=(3, 2)), k=15)
+        points, ids = overlay.live_points()
+        expected = brute_force_gnn(points, query, record_ids=ids)
+        got = []
+        for neighbor in overlay.group_nn_stream(query):
+            got.append((neighbor.record_id, neighbor.distance))
+            if len(got) == 15:
+                break
+        assert [rid for rid, _ in got] == expected.record_ids()
+        assert [d for _, d in got] == expected.distances()
+
+    def test_compact_is_structurally_identical_to_rebuild(self, base, dataset):
+        overlay = DeltaOverlay(base)
+        overlay.delete(dataset[7], 7)
+        overlay.insert([123.0, 456.0], 400)
+        compacted = overlay.compact()
+        points, ids = overlay.live_points()
+        rebuilt = FlatRTree.bulk_load(points, capacity=base.capacity, record_ids=ids)
+        assert compacted.generation == base.generation + 1
+        assert np.array_equal(compacted.points, rebuilt.points)
+        assert np.array_equal(compacted.record_ids, rebuilt.record_ids)
+        # compaction leaves the overlay itself untouched
+        assert overlay.dirty and len(overlay.delta) == 1
+
+    def test_delta_points_cache_invalidation(self, base):
+        overlay = DeltaOverlay(base)
+        overlay.insert([1.0, 1.0], 400)
+        points, ids = overlay.delta_points()
+        assert ids.tolist() == [400]
+        overlay.insert([2.0, 2.0], 401)
+        points, ids = overlay.delta_points()
+        assert ids.tolist() == [400, 401]
+        overlay.delete([1.0, 1.0], 400)
+        points, ids = overlay.delta_points()
+        assert ids.tolist() == [401]
+
+
+# ----------------------------------------------------------------------
+# the three pinned engine bugs
+# ----------------------------------------------------------------------
+class TestEngineMutationBugfixes:
+    def test_direct_tree_delete_left_snapshot_stale(self, dataset, rng):
+        """The pre-fix wrong answer: ``tree.delete`` alone is not a delete.
+
+        With a flat snapshot materialised, bypassing ``engine.delete``
+        demonstrably serves the deleted record from snapshot-routed
+        queries — exactly the bug; ``engine.delete`` keeps every view
+        consistent.
+        """
+        group = np.vstack([dataset[42] + 0.5, dataset[42] - 0.5])
+        spec = QuerySpec(group=group, k=1)
+
+        buggy = GNNEngine(dataset, capacity=16)
+        buggy.execute(spec)  # materialises the snapshot
+        assert buggy.tree.delete(dataset[42], 42)  # the old "delete"
+        stale = buggy.execute(spec)
+        assert stale.record_ids() == [42]  # wrong: still served
+
+        fixed = GNNEngine(dataset, capacity=16)
+        fixed.execute(spec)
+        assert fixed.delete(dataset[42], 42)
+        fresh = fixed.execute(spec)
+        assert fresh.record_ids() != [42]
+        assert 42 not in {int(i) for i in fixed._store.live_points()[1].tolist()}
+
+    def test_insert_after_delete_never_reuses_a_live_id(self, dataset):
+        """The id-collision bug: ``len(self.points)`` is not an id."""
+        engine = GNNEngine(dataset, capacity=16)
+        assert engine.delete(dataset[0], 0)
+        # Old rule: len(points) == 399 — a *live* record's id.
+        assigned = engine.insert([111.0, 222.0])
+        assert assigned == 400
+        live_ids = {int(i) for i, _ in engine.tree.all_points()}
+        assert assigned in live_ids and 0 not in live_ids
+        spec = QuerySpec(group=[[111.0, 222.0]], k=1, algorithm="brute-force")
+        assert engine.execute(spec).record_ids() == [assigned]
+
+    def test_engine_delete_unknown_record_returns_false(self, dataset):
+        engine = GNNEngine(dataset, capacity=16)
+        assert not engine.delete(dataset[3] + 123.0, 3)  # wrong coordinates
+        assert not engine.delete(dataset[3], 999)  # wrong id
+        assert len(engine) == 400
+
+
+# ----------------------------------------------------------------------
+# overlay execution: bit-identity and routing
+# ----------------------------------------------------------------------
+class TestOverlayExecution:
+    def _mutate(self, engine, dataset, rng, deletes=30, inserts=30):
+        for rid in rng.choice(len(dataset), size=deletes, replace=False):
+            assert engine.delete(dataset[rid], int(rid))
+        for _ in range(inserts):
+            engine.insert(rng.uniform(0, 1000, size=2))
+
+    def test_tree_backed_dirty_engine_matches_rebuild(self, dataset, rng):
+        engine = GNNEngine(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(3, 2))
+        engine.execute(QuerySpec(group=group, k=2))  # build the snapshot
+        self._mutate(engine, dataset, rng)
+        assert engine.dirty
+        reference = _rebuilt_reference(engine)
+        for name in ALGORITHMS:
+            spec = QuerySpec(group=group, k=7, algorithm=name)
+            _assert_identical(engine.execute(spec), reference.execute(spec), name)
+
+    def test_snapshot_only_dirty_engine_matches_rebuild(self, dataset, rng, tmp_path):
+        path = tmp_path / "base.npz"
+        GNNEngine(dataset, capacity=16).snapshot().save(path)
+        engine = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        self._mutate(engine, dataset, rng)
+        group = rng.uniform(200, 800, size=(3, 2))
+        reference = _rebuilt_reference(engine)
+        for name in ALGORITHMS:
+            spec = QuerySpec(group=group, k=7, algorithm=name)
+            result = engine.execute(spec)
+            _assert_identical(result, reference.execute(spec), name)
+            assert result.cost.algorithm.endswith("+overlay"), name
+
+    def test_overlay_counters_are_deterministic(self, dataset, rng):
+        engine = GNNEngine(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(4, 2))
+        engine.execute(QuerySpec(group=group, k=2))
+        self._mutate(engine, dataset, rng, deletes=20, inserts=20)
+        spec = QuerySpec(group=group, k=5, algorithm="mbm")
+        first = engine.execute(spec).cost
+        second = engine.execute(spec).cost
+        assert first.node_accesses == second.node_accesses
+        assert first.distance_computations == second.distance_computations
+        assert first.algorithm.endswith("+overlay")
+
+    def test_object_index_bypasses_the_overlay(self, dataset, rng):
+        engine = GNNEngine(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(3, 2))
+        engine.execute(QuerySpec(group=group, k=2))
+        self._mutate(engine, dataset, rng, deletes=10, inserts=10)
+        result = engine.execute(QuerySpec(group=group, k=5, index="object"))
+        # The object tree is mutated in place — already current, no
+        # overlay label, and the same answers as the merged view.
+        assert not result.cost.algorithm.endswith("+overlay")
+        merged = engine.execute(QuerySpec(group=group, k=5))
+        assert result.record_ids() == merged.record_ids()
+
+    def test_excluded_records_are_not_charged_distance_computations(self, dataset, rng):
+        from repro.core.mbm import mbm
+
+        flat = FlatRTree.bulk_load(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(3, 2))
+        query = GroupQuery(group, k=5)
+        clean = mbm(flat, query)
+        excluded = {n.record_id for n in clean.neighbors[:2]}
+        shifted = mbm(flat, query, exclude=excluded)
+        assert len(shifted.neighbors) == 5
+        assert not excluded & {n.record_id for n in shifted.neighbors}
+        # The excluded records shift the ranking down by exactly two slots.
+        assert shifted.record_ids()[:3] == clean.record_ids()[2:5]
+
+    def test_batch_over_dirty_overlay_matches_per_spec(self, dataset, rng):
+        engine = GNNEngine(dataset, capacity=16)
+        engine.execute(QuerySpec(group=[[500.0, 500.0]], k=1))
+        self._mutate(engine, dataset, rng, deletes=15, inserts=15)
+        specs = [
+            QuerySpec(group=rng.uniform(200, 800, size=(4, 2)), k=3)
+            for _ in range(12)
+        ]
+        batch = engine.execute_many(specs)
+        for spec, outcome in zip(specs, batch):
+            _assert_identical(outcome, engine.execute(spec), "batch-vs-solo")
+
+    def test_compaction_clears_overlay_and_preserves_answers(self, dataset, rng):
+        engine = GNNEngine(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(3, 2))
+        engine.execute(QuerySpec(group=group, k=2))
+        self._mutate(engine, dataset, rng)
+        before = {
+            name: engine.execute(QuerySpec(group=group, k=7, algorithm=name))
+            for name in ALGORITHMS
+        }
+        base_generation = engine.flat.generation
+        compacted = engine.compact()
+        assert not engine.dirty
+        assert compacted.generation == base_generation + 1
+        for name, result in before.items():
+            after = engine.execute(QuerySpec(group=group, k=7, algorithm=name))
+            _assert_identical(after, result, f"{name} post-compaction")
+            assert not after.cost.algorithm.endswith("+overlay")
+
+    def test_compaction_round_trips_through_disk(self, dataset, rng, tmp_path):
+        engine = GNNEngine(dataset, capacity=16)
+        group = rng.uniform(200, 800, size=(3, 2))
+        engine.execute(QuerySpec(group=group, k=2))
+        self._mutate(engine, dataset, rng)
+        expected = engine.execute(QuerySpec(group=group, k=7))
+        path = tmp_path / "gen1.npz"
+        engine.compact().save(path)
+        reloaded = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        assert reloaded.flat.generation == 1
+        _assert_identical(
+            reloaded.execute(QuerySpec(group=group, k=7)), expected, "reloaded"
+        )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: random mutation schedules
+# ----------------------------------------------------------------------
+coordinate = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, width=32)
+point_strategy = st.tuples(coordinate, coordinate)
+
+
+class TestMutationScheduleProperty:
+    @given(
+        initial=st.lists(point_strategy, min_size=5, max_size=40),
+        schedule=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), point_strategy, st.integers(0, 10_000)),
+            min_size=1,
+            max_size=25,
+        ),
+        k=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_schedule_keeps_overlay_exact(self, initial, schedule, k):
+        data = np.array(initial, dtype=np.float64)
+        engine = GNNEngine(data, capacity=8)
+        engine.execute(QuerySpec(group=[[500.0, 500.0]], k=1))  # build base
+        live = {i: data[i] for i in range(len(data))}
+        for action, point, selector in schedule:
+            if action == "insert":
+                rid = engine.insert(point)
+                assert rid not in live
+                live[rid] = np.asarray(point, dtype=np.float64)
+            elif live:
+                rid = sorted(live)[selector % len(live)]
+                assert engine.delete(live[rid], rid)
+                del live[rid]
+        if not live:
+            return
+        # The invariant under test: the dirty merged view is a correct
+        # top-k over the independently tracked live dataset for every
+        # algorithm, and — whenever no two live points tie at *exactly*
+        # the same float64 aggregate distance — bit-identical to a
+        # from-scratch rebuild.  (Under exact ties the tie order is a
+        # traversal artifact with or without an overlay, so only the
+        # distance multiset is pinned there.)
+        ids = np.array(sorted(live), dtype=np.int64)
+        points = np.vstack([live[i] for i in ids])
+        group = np.array([[250.0, 250.0], [750.0, 750.0]])
+        query = GroupQuery(group, k=k)
+        all_distances = query.distances_to(points)
+        expected = np.sort(all_distances)[:k]
+        distance_of = {int(i): float(d) for i, d in zip(ids, all_distances)}
+        tie_free = len(np.unique(all_distances)) == len(all_distances)
+        rebuilt = GNNEngine.from_index(
+            FlatRTree.bulk_load(points, capacity=8, record_ids=ids)
+        )
+        for name in ALGORITHMS:
+            spec = QuerySpec(group=group, k=k, algorithm=name)
+            result = engine.execute(spec)
+            # correct top-k: the k smallest distances, each id reported
+            # with its true distance
+            assert np.allclose(result.distances(), expected, rtol=1e-9), name
+            for rid, dist in zip(result.record_ids(), result.distances()):
+                assert rid in distance_of, name
+                assert np.isclose(dist, distance_of[rid], rtol=1e-9), name
+            if tie_free:
+                reference = rebuilt.execute(spec)
+                assert result.record_ids() == reference.record_ids(), name
+                assert np.array_equal(result.distances(), reference.distances()), name
+
+
+# ----------------------------------------------------------------------
+# served write path: CompactingWriter + hot-swap
+# ----------------------------------------------------------------------
+class TestServedWritePath:
+    def test_compacting_writer_trigger_logic(self, dataset, tmp_path):
+        from repro.serve.compaction import CompactingWriter
+
+        path = tmp_path / "base.npz"
+        GNNEngine(dataset, capacity=16).snapshot().save(path)
+        engine = GNNEngine.from_index(FlatRTree.load(path, mmap_mode="r"))
+        writer = CompactingWriter(engine, dirty_ratio_trigger=0.005, min_writes=3)
+        assert writer.compact_now() is None  # clean engine: nothing to fold
+        writer.insert([1.0, 2.0])
+        assert not writer.should_compact  # below min_writes
+        writer.insert([3.0, 4.0])
+        writer.insert([5.0, 6.0])
+        assert writer.should_compact
+        flat = writer.maybe_compact()
+        assert flat is not None and flat.generation == 1
+        assert writer.compactions == 1 and not engine.dirty
+
+    def test_server_absorbs_compaction_swap_mid_trace(self, dataset, tmp_path):
+        """Acceptance: zero failed requests across a mid-trace hot-swap."""
+        from repro.serve import CompactingWriter, GNNServer
+
+        rng = np.random.default_rng(SEED + 3)
+        with GNNServer.from_points(dataset, tmp_path, capacity=16, workers=2) as server:
+            engine = GNNEngine.from_index(
+                FlatRTree.load(server.snapshot_path, mmap_mode="r")
+            )
+            writer = CompactingWriter(
+                engine, server, dirty_ratio_trigger=0.02, min_writes=4
+            )
+            handle = server.handle()
+            futures = []
+            for i in range(60):
+                futures.append(
+                    handle.submit(QuerySpec(group=rng.uniform(0, 1000, size=(3, 2)), k=4))
+                )
+                if i % 5 == 0:
+                    writer.delete(dataset[i], i)
+                    writer.insert(rng.uniform(0, 1000, size=2))
+                writer.maybe_compact()
+            failures = 0
+            for future in futures:
+                try:
+                    future.result(timeout=60)
+                except Exception:
+                    failures += 1
+            assert failures == 0
+            assert writer.compactions >= 1
+            assert server.epoch >= writer.compactions
+            # Post-swap answers match the local merged view exactly.
+            spec = QuerySpec(group=rng.uniform(0, 1000, size=(3, 2)), k=4)
+            _assert_identical(
+                handle.run(spec, timeout=60), engine.execute(spec), "served-post-swap"
+            )
+
+
+# ----------------------------------------------------------------------
+# sharded write path: ShardWriter
+# ----------------------------------------------------------------------
+class TestShardedWritePath:
+    @pytest.fixture()
+    def partitioned(self, dataset, tmp_path):
+        from repro.shard import partition_dataset
+
+        manifest = partition_dataset(dataset, shards=3, directory=tmp_path, capacity=16)
+        return tmp_path, manifest
+
+    def test_global_id_allocation_and_routing(self, partitioned, dataset, rng):
+        from repro.shard import ShardWriter
+
+        directory, manifest = partitioned
+        writer = ShardWriter(directory)
+        assert writer.next_record_id == len(dataset)
+        seen = []
+        for _ in range(10):
+            shard_id, record_id = writer.insert(rng.uniform(0, 1000, size=2))
+            assert 0 <= shard_id < manifest.shard_count
+            seen.append(record_id)
+        assert seen == list(range(400, 410))  # global, monotonic, gap-free
+
+    def test_delete_probes_past_routing_ties(self, partitioned, dataset):
+        from repro.shard import ShardWriter
+
+        writer = ShardWriter(partitioned[0])
+        for rid in range(0, 30, 3):
+            assert writer.delete(dataset[rid], rid) is not None
+        assert writer.delete(dataset[0], 0) is None  # already dead
+        assert writer.delete(dataset[1] + 500.0, 1) is None  # wrong point
+
+    def test_compaction_updates_manifest_and_preserves_answers(
+        self, partitioned, dataset, rng
+    ):
+        from repro.shard import ShardManifest, ShardWriter
+
+        directory, manifest = partitioned
+        writer = ShardWriter(directory)
+        deleted = list(range(0, 40, 2))
+        for rid in deleted:
+            assert writer.delete(dataset[rid], rid) is not None
+        inserted = {}
+        for _ in range(20):
+            point = rng.uniform(0, 1000, size=2)
+            _, rid = writer.insert(point)
+            inserted[rid] = point
+        updated = writer.compact()
+        assert updated.generation == manifest.generation + 1
+        assert updated.size == 400
+        # The on-disk manifest is the updated one, and every snapshot it
+        # names exists (manifest-written-last discipline).
+        reloaded = ShardManifest.load(directory)
+        assert reloaded.generation == updated.generation
+        for shard in reloaded.shards:
+            assert (directory / shard.path).exists()
+        # Federated view == single rebuilt index over the live records.
+        live = {i: dataset[i] for i in range(400) if i not in set(deleted)}
+        live.update(inserted)
+        ids = np.array(sorted(live), dtype=np.int64)
+        points = np.vstack([live[i] for i in ids])
+        reference = GNNEngine.from_index(
+            FlatRTree.bulk_load(points, capacity=16, record_ids=ids)
+        )
+        group = rng.uniform(0, 1000, size=(3, 2))
+        expected = reference.execute(QuerySpec(group=group, k=6))
+        merged = []
+        for shard in reloaded.shards:
+            shard_engine = GNNEngine.from_index(
+                FlatRTree.load(directory / shard.path, mmap_mode="r")
+            )
+            result = shard_engine.execute(QuerySpec(group=group, k=6))
+            merged.extend((n.distance, n.record_id) for n in result.neighbors)
+        merged.sort()
+        assert [rid for _, rid in merged[:6]] == expected.record_ids()
+
+    def test_compacting_an_empty_shard_is_refused(self, dataset, tmp_path):
+        from repro.shard import ShardWriter, partition_dataset
+
+        partition_dataset(dataset[:9], shards=3, directory=tmp_path, capacity=16)
+        writer = ShardWriter(tmp_path)
+        # Drain one shard completely.
+        target = writer.manifest.shards[0]
+        flat = FlatRTree.load(tmp_path / target.path)
+        for row in range(flat.size):
+            rid = int(np.asarray(flat.record_ids)[row])
+            assert writer.delete(np.asarray(flat.points[row]), rid) is not None
+        with pytest.raises(ValueError, match="empty"):
+            writer.compact()
+
+    def test_node_swap_snapshot_follows_compaction(self, partitioned, dataset, rng):
+        from repro.shard import ShardNode, ShardWriter
+
+        directory, manifest = partitioned
+        writer = ShardWriter(directory)
+        shard0 = manifest.shards[0]
+        with ShardNode(0, directory / shard0.path, workers=1) as node:
+            flat = FlatRTree.load(directory / shard0.path)
+            rid = int(np.asarray(flat.record_ids)[0])
+            assert writer.engine(0).delete(np.asarray(flat.points[0]), rid)
+            updated = writer.compact()
+            epoch = node.swap_snapshot(directory / updated.shards[0].path)
+            assert epoch >= 1
+            assert node.generation == updated.generation
+            assert node.size == updated.shards[0].count
