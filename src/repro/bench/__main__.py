@@ -30,6 +30,7 @@ from repro.bench.baseline import (
     write_baseline,
 )
 from repro.bench.config import available_scales, get_scale
+from repro.storage.atomicio import atomic_output
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 from repro.bench.report import format_table, results_to_markdown
 
@@ -172,8 +173,8 @@ def main(argv=None) -> int:
         markdown_chunks.append(results_to_markdown(result))
 
     if args.markdown:
-        with open(args.markdown, "w", encoding="utf-8") as handle:
-            handle.write("\n".join(markdown_chunks))
+        with atomic_output(args.markdown) as handle:
+            handle.write("\n".join(markdown_chunks).encode("utf-8"))
         print(f"Markdown tables written to {args.markdown}")
     return 0
 

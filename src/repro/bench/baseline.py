@@ -64,6 +64,7 @@ from repro.datasets.real_like import pp_like
 from repro.datasets.workload import WorkloadSpec, generate_workload
 from repro.rtree.flat import FlatRTree
 from repro.rtree.tree import RTree
+from repro.storage.atomicio import write_json_atomic
 from repro.storage.pointfile import PointFile
 
 #: Schema version of the emitted JSON (bump on layout changes).
@@ -71,8 +72,11 @@ from repro.storage.pointfile import PointFile
 #: throughput/latency vs worker count).  Schema 4 added the ``sharded``
 #: section (scatter-gather over networked shard nodes vs shard count).
 #: Schema 5 added the ``write_path`` section (query latency over a
-#: dirty delta overlay vs the equivalent frozen snapshot).
-SCHEMA_VERSION = 5
+#: dirty delta overlay vs the equivalent frozen snapshot).  Schema 6
+#: added the ``durability`` section (write-ahead-logged insert overhead
+#: at the ``interval`` fsync policy vs the volatile overlay write path,
+#: plus crash-recovery replay time).
+SCHEMA_VERSION = 6
 
 #: Default output filename (also the CI artifact name).
 DEFAULT_OUTPUT = "BENCH_quick.json"
@@ -145,6 +149,14 @@ SHARDED_REPEATS = 5
 #: overhead budget of the overlay design.
 WRITE_PATH_DELETES = 60
 WRITE_PATH_INSERTS = 60
+
+#: Durability config: per-insert cost with a write-ahead log attached
+#: (``interval`` fsync — the serving default) against the same inserts
+#: into a volatile overlay, plus the time to recover (snapshot load +
+#: full WAL replay) a directory carrying this many logged writes.
+#: ``durability_efficiency`` is volatile over logged per-write time, so
+#: 0.5 means logging doubles the insert cost.
+WAL_WRITES = 400
 
 #: Regression floor of the --compare gate: a freshly measured speedup
 #: may not fall below this fraction of the committed value.
@@ -688,6 +700,87 @@ def _write_path_baseline(repeats: int) -> dict:
     }
 
 
+def _durability_baseline(repeats: int) -> dict:
+    """WAL append overhead and crash-recovery replay time.
+
+    The volatile write path (PR 7's plain overlay insert) is timed
+    against the *durable increment* — one ``WriteAheadLog.append`` per
+    write at the ``interval`` fsync policy — measured on its own, since
+    the append is orders of magnitude cheaper than the R*-tree delta
+    insert it precedes and would drown in its timing noise if the two
+    were compared insert-vs-insert.  ``durability_efficiency`` is the
+    decomposed throughput retention ``volatile / (volatile + append)``.
+    A populated log is then left behind and a full ``GNNEngine.recover``
+    (snapshot load + replay) is timed.
+    """
+    import numpy as np
+
+    from repro.storage.generations import GenerationStore
+    from repro.storage.wal import WriteAheadLog
+
+    data = pp_like(FIG51_DATASET_SIZE)
+    rng = np.random.default_rng(FIG51_SEED)
+    extra = rng.uniform(
+        data.min(axis=0), data.max(axis=0), size=(WAL_WRITES, data.shape[1])
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = GenerationStore(tmp)
+        store.publish(GNNEngine(data, capacity=50).snapshot())
+
+        volatile = GNNEngine.from_index(store.latest())
+
+        def run_volatile():
+            for row in extra:
+                volatile.insert(row)
+            return len(extra)
+
+        volatile_us = _median_runtime(run_volatile, repeats) * 1e6
+
+        append_log = WriteAheadLog(
+            os.path.join(tmp, "append-bench.log"), fsync="interval"
+        )
+
+        def run_append():
+            for record_id, row in enumerate(extra):
+                append_log.append("insert", record_id, row)
+            return len(extra)
+
+        append_us = _median_runtime(run_append, repeats) * 1e6
+        append_log.close()
+
+        # Leave a populated log behind and time recovering it.
+        logged = GNNEngine.recover(tmp, fsync="interval")
+        for row in extra:
+            logged.insert(row)
+        logged.wal.sync()
+        logged.wal.close()
+
+        def run_recover():
+            recovered = GNNEngine.recover(tmp, fsync="off")
+            recovered.wal.close()
+            if recovered.overlay is None or recovered.overlay.write_count != len(extra):
+                raise AssertionError(
+                    "durability: recovery replayed the wrong record count"
+                )
+            return 1
+
+        recovery_ms = _median_runtime(run_recover, repeats) * 1000.0
+
+    return {
+        "setting": {
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "wal_writes": WAL_WRITES,
+            "fsync": "interval",
+        },
+        "volatile_us_per_write": round(volatile_us, 3),
+        "wal_append_us_per_write": round(append_us, 3),
+        "recovery_ms": round(recovery_ms, 3),
+        "recovered_records": WAL_WRITES,
+        "durability_efficiency": round(volatile_us / (volatile_us + append_us), 3),
+    }
+
+
 def quick_baseline(repeats: int = 5) -> dict:
     """Measure all configurations and return the baseline document."""
     return {
@@ -700,6 +793,7 @@ def quick_baseline(repeats: int = 5) -> dict:
         "disk": _disk_baseline(repeats),
         "batch_flat": _batch_baseline(repeats),
         "write_path": _write_path_baseline(repeats),
+        "durability": _durability_baseline(repeats),
         "serving": _serving_baseline(repeats),
         "sharded": _sharded_baseline(repeats),
     }
@@ -722,6 +816,11 @@ def collect_speedups(document: dict) -> dict[str, float]:
     write_path = document.get("write_path", {})
     if "write_path_efficiency" in write_path:
         speedups["write_path_efficiency"] = float(write_path["write_path_efficiency"])
+    durability = document.get("durability", {})
+    if "durability_efficiency" in durability:
+        speedups["durability_efficiency"] = float(
+            durability["durability_efficiency"]
+        )
     serving = document.get("serving", {})
     if "throughput_speedup_4w_vs_1w" in serving:
         speedups["serving_speedup"] = float(serving["throughput_speedup_4w_vs_1w"])
@@ -781,30 +880,6 @@ def baseline_warnings(current: dict, reference: dict) -> list[str]:
             "not gated until the committed baseline is regenerated"
         )
     return warnings
-
-
-def write_json_atomic(path: str, document: dict) -> None:
-    """Write ``document`` as JSON via a same-directory temp file + rename.
-
-    ``os.replace`` is atomic on POSIX and Windows, so readers (and the
-    committed repository) only ever observe the old complete file or
-    the new complete file — never a truncation from an interrupted run.
-    """
-    directory = os.path.dirname(os.path.abspath(path)) or "."
-    fd, tmp_path = tempfile.mkstemp(
-        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
 
 
 def write_baseline(path: str = DEFAULT_OUTPUT, repeats: int = 5) -> dict:

@@ -101,6 +101,7 @@ class GNNEngine:
         self._flat: FlatRTree | None = None
         self._overlay: DeltaOverlay | None = None
         self._next_id: int | None = None
+        self._wal = None
         self.planner = QueryPlanner(self)
 
     @classmethod
@@ -129,7 +130,66 @@ class GNNEngine:
         engine._flat = index
         engine._overlay = None
         engine._next_id = None
+        engine._wal = None
         engine.planner = QueryPlanner(engine)
+        return engine
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        *,
+        mmap_mode: str | None = "r",
+        fsync: str = "interval",
+        interval_s: float = 0.05,
+    ) -> "GNNEngine":
+        """Rebuild an engine from a generation directory after a crash.
+
+        Loads the newest *complete* snapshot generation (see
+        :class:`~repro.storage.generations.GenerationStore`), replays the
+        write-ahead log tail on top of it, and re-attaches the log so new
+        writes keep appending to the same file.  The merged view is
+        bit-identical to the pre-crash engine: overlay state was pure
+        process memory, so the snapshot plus a full WAL replay *is* the
+        pre-crash state up to the last durable record.
+
+        A WAL whose ``base_generation`` is older than the recovered
+        snapshot is a truncation that never landed — every record in it
+        was already folded into the snapshot, so it is discarded rather
+        than replayed twice.
+        """
+        from repro.storage.generations import GenerationStore
+        from repro.storage.wal import WriteAheadLog
+
+        store = GenerationStore(directory)
+        flat = store.latest(mmap_mode=mmap_mode)
+        if flat is None:
+            raise FileNotFoundError(
+                f"no complete snapshot generation under {store.directory}"
+            )
+        engine = cls.from_index(flat)
+        wal_path = store.wal_path
+        if wal_path.exists():
+            scan = WriteAheadLog.scan(wal_path)
+            if scan.base_generation > flat.generation:
+                raise RuntimeError(
+                    f"WAL base generation {scan.base_generation} is newer than "
+                    f"any complete snapshot ({flat.generation}); the generation "
+                    "directory lost files outside this store's control"
+                )
+            if scan.base_generation == flat.generation:
+                for record in scan.records:
+                    if record.op == "insert":
+                        engine.insert(record.point, record_id=record.record_id)
+                    else:
+                        engine.delete(record.point, record.record_id)
+        wal = WriteAheadLog(
+            wal_path, fsync=fsync, interval_s=interval_s,
+            base_generation=flat.generation,
+        )
+        if wal.base_generation != flat.generation:
+            wal.reset(flat.generation)  # stale, fully-folded log: discard
+        engine.attach_wal(wal)
         return engine
 
     # ------------------------------------------------------------------
@@ -351,6 +411,20 @@ class GNNEngine:
     # maintenance (the mutable write path)
     # ------------------------------------------------------------------
     @property
+    def wal(self):
+        """The attached write-ahead log, or None when writes are volatile."""
+        return self._wal
+
+    def attach_wal(self, wal) -> None:
+        """Log every subsequent :meth:`insert`/:meth:`delete` to ``wal``.
+
+        The record is appended (durably, per the log's fsync policy)
+        *before* any in-memory structure mutates — the write-ahead
+        invariant :meth:`recover` depends on.  Pass ``None`` to detach.
+        """
+        self._wal = wal
+
+    @property
     def dims(self) -> int:
         if self.tree is not None:
             return self.tree.dims
@@ -413,6 +487,11 @@ class GNNEngine:
             record_id = int(record_id)
             self._init_id_counter()
             self._next_id = max(self._next_id, record_id + 1)
+        if self._wal is not None:
+            # Write-ahead: the record must be on disk before any
+            # in-memory structure reflects it, or a crash in between
+            # loses an applied write.
+            self._wal.append("insert", record_id, point)
         if self.tree is not None:
             self.tree.insert(point, record_id=record_id)
             if self._flat is not None:
@@ -437,6 +516,10 @@ class GNNEngine:
         """
         point = self._validated_point(point)
         record_id = int(record_id)
+        if self._wal is not None:
+            # Logged before the mutation (write-ahead); a logged delete
+            # that turns out to be a miss replays as the same no-op.
+            self._wal.append("delete", record_id, point)
         if self.tree is not None:
             removed = self.tree.delete(point, record_id)
             if not removed:

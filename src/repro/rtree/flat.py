@@ -295,7 +295,7 @@ class FlatRTree:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, path, generation: int | None = None) -> None:
+    def save(self, path, generation: int | None = None, *, fsync: bool = False) -> None:
         """Write the snapshot as an *uncompressed* ``.npz`` archive.
 
         Uncompressed members are stored contiguously inside the zip,
@@ -309,7 +309,16 @@ class FlatRTree:
         serving subsystem uses the token for hot-swaps: a publisher
         saves the successor snapshot with a higher generation, and the
         workers report which generation answered each batch.
+
+        Publication is atomic: the archive is staged in a same-directory
+        temp file and renamed into place (the ``snapshot.rename`` fault
+        point fires just before the rename), so a reader — or a recovery
+        scan after a crash — never observes a half-written snapshot
+        under the real name.  ``fsync=True`` additionally makes the
+        snapshot durable before the rename.
         """
+        from repro.storage.atomicio import atomic_output
+
         if generation is None:
             generation = self.generation
         payload = {name: np.ascontiguousarray(getattr(self, name)) for name in _ARRAY_FIELDS}
@@ -317,7 +326,7 @@ class FlatRTree:
             [FORMAT_VERSION, self.dims, self.size, self.capacity, self.height, int(generation)],
             dtype=np.int64,
         )
-        with open(path, "wb") as handle:
+        with atomic_output(path, fsync=fsync, fault_point="snapshot.rename") as handle:
             np.savez(handle, **payload)
 
     @classmethod

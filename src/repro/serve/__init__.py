@@ -39,6 +39,7 @@ from repro.serve.server import (
     ServerHandle,
     ServerOverloadedError,
     ServingError,
+    WorkerDiedError,
     default_worker_count,
 )
 from repro.serve.stats import ServerStats, ServingCounters
@@ -53,6 +54,7 @@ __all__ = [
     "ServerStats",
     "ServingCounters",
     "ServingError",
+    "WorkerDiedError",
     "check_servable",
     "default_worker_count",
 ]

@@ -57,6 +57,18 @@ class CompactingWriter:
         ratio (protects tiny bases from compacting on every write).
     interval_s:
         Poll period of the background thread.
+    store:
+        Optional :class:`~repro.storage.generations.GenerationStore`;
+        every compaction is then *durably published* as a new snapshot
+        generation (atomic rename + manifest) before anything else
+        observes it.
+    wal:
+        Optional :class:`~repro.storage.wal.WriteAheadLog` (usually the
+        engine's own, attached via :meth:`GNNEngine.attach_wal`).  After
+        a durable publication the log is truncated — and only then: a
+        crash between publish and truncate leaves a stale log recovery
+        recognises and discards, never a window where folded writes
+        exist nowhere durable.
     """
 
     def __init__(
@@ -67,6 +79,8 @@ class CompactingWriter:
         dirty_ratio_trigger: float | None = DEFAULT_DIRTY_RATIO,
         min_writes: int = 1,
         interval_s: float = DEFAULT_INTERVAL_S,
+        store=None,
+        wal=None,
     ):
         if dirty_ratio_trigger is not None and dirty_ratio_trigger <= 0:
             raise ValueError("dirty_ratio_trigger must be positive (or None)")
@@ -74,6 +88,8 @@ class CompactingWriter:
             raise ValueError("min_writes must be at least 1")
         self.engine = engine
         self.server = server
+        self.store = store
+        self.wal = wal
         self.dirty_ratio_trigger = dirty_ratio_trigger
         self.min_writes = int(min_writes)
         self.interval_s = float(interval_s)
@@ -129,6 +145,15 @@ class CompactingWriter:
                 return None
             flat = self.engine.compact()
             self.compactions += 1
+            if self.store is not None:
+                # Durable-first ordering: snapshot + manifest hit disk,
+                # *then* the WAL is truncated.  The writer lock spans
+                # both, so no insert/delete can land in the window and
+                # be dropped by the truncation.
+                self.store.publish(flat)
+                wal = self.wal if self.wal is not None else self.engine.wal
+                if wal is not None:
+                    wal.reset(flat.generation)
             if self.server is not None:
                 self.published_epochs.append(self.server.publish_snapshot(flat))
             return flat

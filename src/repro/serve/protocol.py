@@ -54,12 +54,30 @@ class BatchRequest:
     ``epoch`` and ``snapshot_path`` name the snapshot the batch must be
     answered from: a worker whose mapped snapshot is older remaps before
     executing (the hot-swap path).  ``items`` pairs each server-side
-    request id with its encoded spec payload.
+    request id with its encoded spec payload.  ``batch_id`` is the
+    server-side identity of the batch; workers claim it before executing
+    (:class:`BatchClaim`) and echo it in the reply, which is what lets
+    the server attribute an in-flight batch to a worker that died.
     """
 
     epoch: int
     snapshot_path: str
     items: tuple[tuple[int, dict], ...]
+    batch_id: int = -1
+
+
+@dataclass(frozen=True)
+class BatchClaim:
+    """A worker's declaration that it is about to execute a batch.
+
+    Sent on the reply queue *before* execution starts.  If the claiming
+    worker dies before its :class:`BatchReply` arrives, the server knows
+    exactly which requests died with it and can fail them immediately
+    (``WorkerDiedError``) instead of leaving their futures hanging.
+    """
+
+    worker_id: int
+    batch_id: int
 
 
 @dataclass(frozen=True)
@@ -71,6 +89,8 @@ class BatchReply:
     worker's mergeable stats delta for this batch
     (:meth:`repro.serve.stats.ServingCounters.snapshot`), and
     ``generation`` the token of the snapshot that answered it.
+    ``batch_id`` echoes the request's id so the server can retire the
+    matching :class:`BatchClaim`.
     """
 
     worker_id: int
@@ -78,6 +98,7 @@ class BatchReply:
     generation: int
     items: tuple[tuple[int, GNNResult | None, str | None], ...]
     counters: dict
+    batch_id: int = -1
 
 
 def check_servable(spec: QuerySpec, plan: QueryPlan) -> None:

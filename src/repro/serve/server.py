@@ -42,7 +42,7 @@ from repro.api.spec import QuerySpec
 from repro.core.engine import GNNEngine
 from repro.core.types import GNNResult
 from repro.rtree.flat import FlatRTree
-from repro.serve.protocol import SHUTDOWN, BatchRequest, check_servable, encode_spec
+from repro.serve.protocol import SHUTDOWN, BatchClaim, BatchRequest, check_servable, encode_spec
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.stats import ServerStats
 from repro.serve.worker import worker_main
@@ -62,6 +62,17 @@ _PLAN_CACHE_LIMIT = 4096
 
 class ServingError(RuntimeError):
     """A request failed inside a worker (carries the worker traceback)."""
+
+
+class WorkerDiedError(ServingError):
+    """The worker executing this request died before replying.
+
+    The batch was *claimed* (the worker announced it was about to
+    execute it) but no reply ever arrived and the claiming process is
+    gone — so the requests in it fail fast instead of hanging until some
+    unrelated timeout.  The query itself may be perfectly fine;
+    resubmitting it is safe (queries are read-only).
+    """
 
 
 class ServerOverloadedError(RuntimeError):
@@ -98,6 +109,10 @@ class GNNServer:
         the paper's I/O cost).
     start_method:
         ``multiprocessing`` start method (default: fork when available).
+    respawn_workers:
+        When True (default), a worker that dies unexpectedly is replaced
+        by a fresh process with the same worker id; its in-flight batch
+        fails with :class:`WorkerDiedError` either way.
     """
 
     def __init__(
@@ -110,6 +125,7 @@ class GNNServer:
         max_pending: int = DEFAULT_MAX_PENDING,
         io_stall_s_per_access: float = 0.0,
         start_method: str | None = None,
+        respawn_workers: bool = True,
     ):
         if workers < 1:
             raise ValueError("workers must be positive")
@@ -131,32 +147,25 @@ class GNNServer:
         self._futures: dict[int, Future] = {}
         self._submit_times: dict[int, float] = {}
         self._next_id = 0
+        self._next_batch_id = 0
+        self._batches: dict[int, tuple[int, ...]] = {}  # batch_id -> request ids
+        self._claims: dict[int, int] = {}  # batch_id -> claiming worker_id
+        self._respawn = bool(respawn_workers)
+        self._io_stall = float(io_stall_s_per_access)
+        self._worker_deaths = 0
+        self._dead_handled: set[int] = set()
         self._closed = threading.Event()
         self._close_lock = threading.Lock()
         self._close_done = threading.Event()
         self._reply_stop = threading.Event()
 
         context = multiprocessing.get_context(start_method or _default_start_method())
+        self._context = context
         self._requests = context.Queue()
         self._replies = context.Queue()
         # Processes are started before any server thread exists, so the
         # fork start method never duplicates a thread mid-operation.
-        self._workers = [
-            context.Process(
-                target=worker_main,
-                args=(
-                    worker_id,
-                    self._requests,
-                    self._replies,
-                    self._path,
-                    self._epoch,
-                    float(io_stall_s_per_access),
-                ),
-                daemon=True,
-                name=f"gnn-serve-worker-{worker_id}",
-            )
-            for worker_id in range(int(workers))
-        ]
+        self._workers = [self._make_worker(worker_id) for worker_id in range(int(workers))]
         for process in self._workers:
             process.start()
 
@@ -268,6 +277,7 @@ class GNNServer:
                 "snapshot_path": self._path,
             }
         snapshot["workers_alive"] = sum(p.is_alive() for p in self._workers)
+        snapshot["worker_deaths"] = self._worker_deaths
         return snapshot
 
     @property
@@ -427,6 +437,16 @@ class GNNServer:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _make_worker(self, worker_id: int):
+        with self._lock:
+            path, epoch = self._path, self._epoch
+        return self._context.Process(
+            target=worker_main,
+            args=(worker_id, self._requests, self._replies, path, epoch, self._io_stall),
+            daemon=True,
+            name=f"gnn-serve-worker-{worker_id}",
+        )
+
     def _plan(self, spec: QuerySpec):
         signature = spec.plan_signature()
         plan = self._plan_cache.get(signature)
@@ -437,9 +457,15 @@ class GNNServer:
         return plan
 
     def _dispatch(self, items: list) -> None:
+        items = tuple(items)
         with self._lock:
             epoch, path = self._epoch, self._path
-        self._requests.put(BatchRequest(epoch=epoch, snapshot_path=path, items=tuple(items)))
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            self._batches[batch_id] = tuple(request_id for request_id, _ in items)
+        self._requests.put(
+            BatchRequest(epoch=epoch, snapshot_path=path, items=items, batch_id=batch_id)
+        )
 
     def _try_dispatch(self, items: list) -> None:
         """Best-effort :meth:`_dispatch` for the shutdown path.
@@ -477,6 +503,49 @@ class GNNServer:
             for batch in due:
                 self._dispatch(batch)
 
+    def _check_worker_deaths(self) -> None:
+        """Fail claimed batches of dead workers; respawn replacements.
+
+        Runs on the reply thread whenever the reply queue goes quiet.  A
+        worker that died mid-batch announced its claim first, so exactly
+        the requests it took down fail — with :class:`WorkerDiedError` —
+        while everything else keeps serving.
+        """
+        for worker_id, process in enumerate(self._workers):
+            if process.is_alive() or worker_id in self._dead_handled:
+                continue
+            self._dead_handled.add(worker_id)
+            self._worker_deaths += 1
+            now = time.monotonic()
+            with self._lock:
+                lost_batches = [
+                    batch_id
+                    for batch_id, claimant in self._claims.items()
+                    if claimant == worker_id and batch_id in self._batches
+                ]
+                doomed = []
+                for batch_id in lost_batches:
+                    for request_id in self._batches.pop(batch_id, ()):
+                        future = self._futures.pop(request_id, None)
+                        submitted = self._submit_times.pop(request_id, now)
+                        if future is not None:
+                            doomed.append((future, submitted))
+                    self._claims.pop(batch_id, None)
+            for future, submitted in doomed:
+                if not future.done():
+                    self._stats.record_outcome(now - submitted, failed=True)
+                    future.set_exception(
+                        WorkerDiedError(
+                            f"worker {worker_id} died while executing this "
+                            "request's batch (safe to resubmit)"
+                        )
+                    )
+            if self._respawn and not self._closed.is_set():
+                replacement = self._make_worker(worker_id)
+                replacement.start()
+                self._workers[worker_id] = replacement
+                self._dead_handled.discard(worker_id)
+
     def _reply_loop(self) -> None:
         """Resolve futures from worker replies; exits when stopped and idle."""
         while True:
@@ -485,11 +554,13 @@ class GNNServer:
             except queue.Empty:
                 if self._reply_stop.is_set():
                     return
+                self._check_worker_deaths()
                 with self._lock:
                     pending = bool(self._futures)
                 if pending and not any(p.is_alive() for p in self._workers):
-                    # Every worker died with requests in flight: fail them
-                    # all rather than letting clients wait forever.
+                    # Every worker died with requests in flight (and no
+                    # respawn replaced them): fail them all rather than
+                    # letting clients wait forever.
                     now = time.monotonic()
                     with self._lock:
                         dead = [
@@ -498,6 +569,8 @@ class GNNServer:
                         ]
                         self._futures.clear()
                         self._submit_times.clear()
+                        self._batches.clear()
+                        self._claims.clear()
                     for future, submitted in dead:
                         if not future.done():
                             self._stats.record_outcome(now - submitted, failed=True)
@@ -507,6 +580,13 @@ class GNNServer:
                 continue
             except (EOFError, OSError):
                 return
+            if isinstance(reply, BatchClaim):
+                with self._lock:
+                    self._claims[reply.batch_id] = reply.worker_id
+                continue
+            with self._lock:
+                self._batches.pop(reply.batch_id, None)
+                self._claims.pop(reply.batch_id, None)
             self._stats.record_reply(reply.worker_id, reply.counters)
             now = time.monotonic()
             for request_id, result, error in reply.items:

@@ -28,8 +28,16 @@ import traceback
 
 from repro.core.engine import GNNEngine
 from repro.rtree.flat import FlatRTree
-from repro.serve.protocol import SHUTDOWN, BatchReply, BatchRequest, decode_spec, encode_result
+from repro.serve.protocol import (
+    SHUTDOWN,
+    BatchClaim,
+    BatchReply,
+    BatchRequest,
+    decode_spec,
+    encode_result,
+)
 from repro.serve.stats import ServingCounters
+from repro.testing import faults
 
 
 def _load_engine(snapshot_path: str) -> tuple[GNNEngine, int]:
@@ -107,6 +115,17 @@ def worker_main(
         message = request_queue.get()
         if message is SHUTDOWN:
             break
+        # Claim the batch before touching it: if this process dies from
+        # here on, the server knows exactly which requests died with it.
+        reply_queue.put(BatchClaim(worker_id=worker_id, batch_id=message.batch_id))
+        # ``worker.execute`` fires *after* the claim — a kill here is the
+        # "worker died mid-batch" scenario the server must detect.  An
+        # injected ``os._exit`` would race the queue's feeder thread and
+        # could lose the claim it is about to simulate dying *after*, so
+        # give the feeder a moment — only when a plan is armed.
+        if faults.is_active():
+            time.sleep(0.05)
+        faults.fire("worker.execute")
         if message.epoch != current_epoch:
             # Finish-then-remap: the previous batch already completed on
             # the old mapping; this one demands the newer snapshot.
@@ -125,5 +144,6 @@ def worker_main(
                 generation=generation,
                 items=items,
                 counters=counters.snapshot(),
+                batch_id=message.batch_id,
             )
         )

@@ -30,6 +30,7 @@ from repro.shard.coordinator import (
     ShardUnavailableError,
 )
 from repro.shard.engine import ShardedEngine
+from repro.shard.health import CircuitBreaker, HealthMonitor
 from repro.shard.launch import ShardNodeProcess
 from repro.shard.manifest import MANIFEST_FILENAME, ShardInfo, ShardManifest
 from repro.shard.node import ShardNode
@@ -37,7 +38,9 @@ from repro.shard.partition import partition_dataset, partition_points, shard_sna
 from repro.shard.writes import ShardWriter
 
 __all__ = [
+    "CircuitBreaker",
     "CoordinatorStats",
+    "HealthMonitor",
     "MANIFEST_FILENAME",
     "ShardCoordinator",
     "ShardInfo",

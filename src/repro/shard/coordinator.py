@@ -49,12 +49,14 @@ import asyncio
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from random import Random
 
 import numpy as np
 
 from repro.api.spec import AUTO, SHARDED, QuerySpec
 from repro.core.types import GNNResult, QueryCost
 from repro.serve.protocol import encode_spec, pack_frame, read_frame
+from repro.shard.health import CircuitBreaker, HealthMonitor
 from repro.shard.manifest import ShardManifest
 from repro.shard.wire import ShardPing, ShardPong, ShardQuery, ShardReply
 
@@ -86,6 +88,8 @@ class CoordinatorStats:
     retries: int = 0
     degraded_queries: int = 0
     failed_subqueries: int = 0
+    breaker_trips: int = 0
+    breaker_fast_fails: int = 0
     cost: QueryCost = field(default_factory=QueryCost)
 
     def snapshot(self) -> dict:
@@ -97,6 +101,8 @@ class CoordinatorStats:
             "retries": self.retries,
             "degraded_queries": self.degraded_queries,
             "failed_subqueries": self.failed_subqueries,
+            "breaker_trips": self.breaker_trips,
+            "breaker_fast_fails": self.breaker_fast_fails,
         }
         data["cost"] = self.cost.as_dict()
         return data
@@ -111,6 +117,21 @@ def merge_costs(total: QueryCost, part: QueryCost) -> None:
     total.page_reads += part.page_reads
     total.block_reads += part.block_reads
     total.cpu_time += part.cpu_time
+
+
+def _replica_addresses(entry) -> list:
+    """Normalise one shard's address entry to a list of replica addresses.
+
+    Accepts a single ``(host, port)`` pair or a sequence of them; a pair
+    is recognised by its string host, so ``[("h", 1), ("h", 2)]`` is two
+    replicas while ``("h", 1)`` is one.
+    """
+    entry = list(entry)
+    if len(entry) == 2 and isinstance(entry[0], str):
+        return [tuple(entry)]
+    if not entry:
+        raise ValueError("a shard needs at least one replica address")
+    return [tuple(address) for address in entry]
 
 
 class _ShardLink:
@@ -239,8 +260,12 @@ class ShardCoordinator:
         The federation's :class:`ShardManifest` (or a directory / path
         it loads from).
     addresses:
-        ``(host, port)`` per shard, indexed by shard id — typically the
-        values returned by each :meth:`ShardNode.start`.
+        Per shard (indexed by shard id) either one ``(host, port)``
+        address — typically the value returned by
+        :meth:`ShardNode.start` — or a *list* of replica addresses all
+        serving the same shard snapshot.  With replicas, dispatch fails
+        over to the first replica whose circuit breaker admits traffic;
+        τ0 logic is unchanged because replicas answer identically.
     timeout_s:
         Per-attempt deadline of one sub-query.
     retries:
@@ -249,6 +274,27 @@ class ShardCoordinator:
         When True, queries survive unreachable shards and mark their
         results ``degraded=True``; when False (default) they raise
         :class:`ShardUnavailableError`.
+    deadline_s:
+        Total per-query budget for any one shard's sub-query *including*
+        retries and backoff sleeps (default ``timeout_s * (retries + 1)``
+        — the old worst case).  Per-attempt timeouts shrink to whatever
+        budget remains, so retries can never exceed the caller's budget.
+    failure_threshold / breaker_reset_s:
+        Circuit-breaker tuning, per replica: consecutive failures that
+        trip it open, and seconds before a half-open probe (see
+        :class:`~repro.shard.health.CircuitBreaker`).  A shard all of
+        whose replica breakers are open fails fast at dispatch — zero
+        timeouts spent on a known-dead node.
+    backoff_base_s / jitter_seed:
+        Retry backoff: attempt ``n`` sleeps
+        ``backoff_base_s * 2**(n-1)`` scaled by a seeded jitter factor
+        in ``[0.5, 1.0)`` — the jitter de-synchronises retry storms
+        across concurrent queries, the seed keeps tests deterministic.
+    health_interval_s:
+        When set, a :class:`~repro.shard.health.HealthMonitor` heartbeats
+        every replica at this period, feeding the same breakers — the
+        re-admission path for recovered nodes (queries never probe an
+        open breaker themselves).
     """
 
     def __init__(
@@ -259,6 +305,13 @@ class ShardCoordinator:
         timeout_s: float = 5.0,
         retries: int = 1,
         allow_degraded: bool = False,
+        deadline_s: float | None = None,
+        failure_threshold: int = 3,
+        breaker_reset_s: float = 1.0,
+        backoff_base_s: float = OVERLOAD_BACKOFF_S,
+        jitter_seed: int = 0,
+        health_interval_s: float | None = None,
+        health_timeout_s: float = 1.0,
     ):
         if not isinstance(manifest, ShardManifest):
             manifest = ShardManifest.load(manifest)
@@ -272,21 +325,61 @@ class ShardCoordinator:
             raise ValueError("timeout_s must be positive")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if deadline_s is not None and deadline_s <= 0.0:
+            raise ValueError("deadline_s must be positive")
         self.manifest = manifest
         self.timeout_s = float(timeout_s)
         self.retries = int(retries)
         self.allow_degraded = bool(allow_degraded)
+        self.deadline_s = (
+            float(deadline_s)
+            if deadline_s is not None
+            else self.timeout_s * (self.retries + 1)
+        )
+        self.backoff_base_s = float(backoff_base_s)
+        self._jitter = Random(jitter_seed)
         self._stats = CoordinatorStats()
         self._closed = threading.Event()
         self._loop = asyncio.new_event_loop()
         self._links = [
-            _ShardLink(shard.shard_id, manifest.generation, address)
-            for shard, address in zip(manifest.shards, addresses)
+            [
+                _ShardLink(shard.shard_id, manifest.generation, address)
+                for address in _replica_addresses(entry)
+            ]
+            for shard, entry in zip(manifest.shards, addresses)
         ]
+        self._breakers = [
+            [
+                CircuitBreaker(
+                    failure_threshold=failure_threshold,
+                    reset_timeout_s=breaker_reset_s,
+                )
+                for _ in replicas
+            ]
+            for replicas in self._links
+        ]
+        self._monitor: HealthMonitor | None = None
+        if health_interval_s is not None:
+            targets = [
+                (link.shard_id, link.address, breaker)
+                for replicas, breakers in zip(self._links, self._breakers)
+                for link, breaker in zip(replicas, breakers)
+            ]
+            self._monitor = HealthMonitor(
+                targets, interval_s=health_interval_s, timeout_s=health_timeout_s
+            )
         self._thread = threading.Thread(
             target=self._loop.run_forever, name="shard-coordinator", daemon=True
         )
         self._thread.start()
+        if self._monitor is not None:
+
+            async def _start_monitor() -> None:
+                self._monitor.start()
+
+            asyncio.run_coroutine_threadsafe(_start_monitor(), self._loop).result(
+                timeout=10.0
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -298,8 +391,11 @@ class ShardCoordinator:
         self._closed.set()
 
         async def _drop_all() -> None:
-            for link in self._links:
-                await link.reset()
+            if self._monitor is not None:
+                await self._monitor.stop()
+            for replicas in self._links:
+                for link in replicas:
+                    await link.reset()
             # Yield once so transport connection_lost callbacks run
             # before the loop is stopped (quiet garbage collection).
             await asyncio.sleep(0)
@@ -350,6 +446,10 @@ class ShardCoordinator:
         return self.submit(spec).result()
 
     async def _execute(self, spec: QuerySpec) -> GNNResult:
+        # One shared budget for the whole query: every sub-query attempt
+        # (and its backoff sleep) draws from it, so a retried shard can
+        # never stretch the query past the caller's deadline.
+        deadline = asyncio.get_running_loop().time() + self.deadline_s
         group = np.asarray(spec.group, dtype=np.float64)
         bounds = self.manifest.group_mindist_bounds(
             group, spec.weights, spec.aggregate
@@ -400,7 +500,7 @@ class ShardCoordinator:
             piloted = True
             remaining = [sid for sid in remaining if sid not in targets]
             replies = await asyncio.gather(
-                *(self._query_shard(sid, payload) for sid in targets),
+                *(self._query_shard(sid, payload, deadline) for sid in targets),
                 return_exceptions=True,
             )
             unreachable = None
@@ -440,37 +540,85 @@ class ShardCoordinator:
         distances = sorted(neighbor.distance for neighbor in candidates)
         return distances[k - 1]
 
-    async def _query_shard(self, shard_id: int, payload: dict) -> GNNResult:
-        """One sub-query with per-attempt timeout and reconnect retries."""
-        link = self._links[shard_id]
+    def _pick_replica(self, shard_id: int):
+        """The first replica whose breaker admits traffic, or ``None``."""
+        for link, breaker in zip(self._links[shard_id], self._breakers[shard_id]):
+            if breaker.allow():
+                return link, breaker
+        return None
+
+    async def _query_shard(
+        self, shard_id: int, payload: dict, deadline: float
+    ) -> GNNResult:
+        """One sub-query: breaker-gated failover, budgeted timeout, retries.
+
+        Each attempt dispatches to the first replica whose circuit
+        breaker admits traffic; a shard with every breaker open fails
+        fast — no connection, no timeout.  Retries back off
+        exponentially with seeded jitter, and both the backoff and the
+        per-attempt timeout are clipped to whatever remains of the
+        query's deadline budget.
+        """
+        loop = asyncio.get_running_loop()
         attempts = self.retries + 1
         last_error: Exception | None = None
         for attempt in range(attempts):
             if attempt:
                 self._stats.retries += 1
+                backoff = (
+                    self.backoff_base_s
+                    * (2 ** (attempt - 1))
+                    * (0.5 + 0.5 * self._jitter.random())
+                )
+                backoff = min(backoff, max(0.0, deadline - loop.time()))
+                if backoff > 0.0:
+                    await asyncio.sleep(backoff)
+            remaining = deadline - loop.time()
+            if remaining <= 0.0:
+                last_error = last_error or asyncio.TimeoutError(
+                    "per-query deadline budget exhausted"
+                )
+                break
+            picked = self._pick_replica(shard_id)
+            if picked is None:
+                # Every replica's breaker is open: the shard is known
+                # dead, so fail in microseconds instead of burning a
+                # timeout re-proving it.  Re-admission comes from the
+                # health monitor (or a breaker's own half-open window).
+                self._stats.breaker_fast_fails += 1
+                raise ShardUnavailableError(
+                    f"shard {shard_id}: all "
+                    f"{len(self._links[shard_id])} replica breaker(s) open"
+                )
+            link, breaker = picked
             self._stats.subqueries += 1
             try:
                 reply = await asyncio.wait_for(
-                    link.request(payload), timeout=self.timeout_s
+                    link.request(payload), timeout=min(self.timeout_s, remaining)
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError) as error:
                 last_error = error
                 self._stats.failed_subqueries += 1
+                if breaker.record_failure():
+                    self._stats.breaker_trips += 1
                 await link.reset()
                 continue
             if reply.error is None:
+                breaker.record_success()
                 return reply.result
             if reply.overloaded:
+                # Overload is backpressure from a live node, not death:
+                # it feeds the retry backoff but never the breaker.
                 last_error = ShardUnavailableError(
                     f"shard {shard_id} shed the sub-query: {reply.error}"
                 )
                 self._stats.failed_subqueries += 1
-                await asyncio.sleep(OVERLOAD_BACKOFF_S)
                 continue
             # A semantic rejection (bad spec, unservable route): the
             # node is alive and retrying cannot change the outcome.
+            breaker.record_success()
             raise ShardQueryError(f"shard {shard_id}: {reply.error}")
         raise ShardUnavailableError(
-            f"shard {shard_id} at {link.address} unreachable after "
-            f"{attempts} attempt(s): {last_error}"
+            f"shard {shard_id} unreachable after {attempts} attempt(s) "
+            f"within the {self.deadline_s:.3f}s budget: {last_error}"
         )

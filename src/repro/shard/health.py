@@ -1,0 +1,196 @@
+"""Shard health: circuit breakers and the heartbeat monitor.
+
+Without a health model, a dead shard costs every query a full timeout
+(times retries) before the degraded path kicks in — the failure ladder
+works, but at seconds per query.  The ICN spatial-federation exemplar
+treats resolver-side liveness as first-class; this module is that idea
+for the scatter-gather coordinator:
+
+* :class:`CircuitBreaker` — the standard three-state machine, one per
+  shard replica.  ``closed`` passes traffic; ``failure_threshold``
+  *consecutive* failures trip it ``open`` (dispatch skips the replica at
+  zero cost); after ``reset_timeout_s`` one probe is let through
+  (``half-open``) and its outcome decides between re-closing and
+  re-opening.  The clock is injectable so tests drive the state machine
+  deterministically.
+
+* :class:`HealthMonitor` — an asyncio heartbeat loop over the existing
+  :class:`~repro.shard.wire.ShardPing` handshake.  Each round pings
+  every replica over a fresh connection and records the outcome into its
+  breaker.  This is the *re-admission* path: queries never probe an open
+  breaker themselves (that would re-pay the timeout), so without the
+  monitor a recovered node would wait for the breaker's own half-open
+  probe; with it, recovery is noticed within one heartbeat interval.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.serve.protocol import pack_frame, read_frame
+from repro.shard.wire import ShardPing, ShardPong
+
+#: Breaker states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Per-replica failure gate: closed → open → half-open → closed.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    reset_timeout_s:
+        Seconds an open breaker waits before granting one half-open
+        probe.
+    clock:
+        Monotonic time source (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 1.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if reset_timeout_s < 0:
+            raise ValueError("reset_timeout_s must be non-negative")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout_s = float(reset_timeout_s)
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.trips = 0  # lifetime closed/half-open -> open transitions
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether a request may be dispatched through this replica now.
+
+        An open breaker whose reset timeout has elapsed grants exactly
+        one probe (transitioning to half-open); further calls return
+        False until the probe's outcome is recorded.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                self._state = HALF_OPEN
+                return True
+            return False
+        return False  # half-open: the single probe is already out
+
+    def record_success(self) -> None:
+        """A request (or heartbeat) through this replica succeeded."""
+        self._state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self) -> bool:
+        """A request (or heartbeat) failed; returns True when this trips.
+
+        A half-open probe failure re-opens immediately (the node is
+        still down — no reason to spend ``failure_threshold`` more
+        probes re-learning that).
+        """
+        self._consecutive_failures += 1
+        should_trip = (
+            self._state == HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        )
+        if should_trip and self._state != OPEN:
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self.trips += 1
+            return True
+        if self._state == OPEN:
+            self._opened_at = self._clock()  # still down: restart the timer
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self._state!r}, "
+            f"failures={self._consecutive_failures}, trips={self.trips})"
+        )
+
+
+class HealthMonitor:
+    """Heartbeat every replica of a federation into its circuit breaker.
+
+    ``targets`` is a list of ``(shard_id, address, breaker)`` triples;
+    :meth:`start` launches the loop as a task on the running event loop
+    (the coordinator's), :meth:`stop` cancels it.  One round pings all
+    targets concurrently; a replica that answers a well-formed
+    :class:`ShardPong` for the right shard records a success, anything
+    else (refused, timeout, wrong shard) a failure.
+    """
+
+    def __init__(self, targets, *, interval_s: float = 0.2, timeout_s: float = 1.0):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        self.targets = list(targets)
+        self.interval_s = float(interval_s)
+        self.timeout_s = float(timeout_s)
+        self.rounds = 0
+        self._task: asyncio.Task | None = None
+
+    async def probe(self, shard_id: int, address) -> bool:
+        """One heartbeat: fresh connection, ping, verified pong."""
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(*address), timeout=self.timeout_s
+            )
+            writer.write(pack_frame(ShardPing(request_id=0)))
+            await writer.drain()
+            pong = await asyncio.wait_for(read_frame(reader), timeout=self.timeout_s)
+            return isinstance(pong, ShardPong) and pong.shard_id == shard_id
+        except (OSError, ValueError, EOFError, asyncio.TimeoutError):
+            return False
+        finally:
+            if writer is not None:
+                writer.close()
+
+    async def probe_all(self) -> None:
+        """Run one heartbeat round over every target (concurrently)."""
+        outcomes = await asyncio.gather(
+            *(self.probe(shard_id, address) for shard_id, address, _ in self.targets)
+        )
+        for (_, _, breaker), alive in zip(self.targets, outcomes):
+            if alive:
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        self.rounds += 1
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.probe_all()
+
+    def start(self) -> "HealthMonitor":
+        """Start the heartbeat task on the running loop (idempotent)."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name="shard-health-monitor"
+            )
+        return self
+
+    async def stop(self) -> None:
+        """Cancel the heartbeat task and wait for it to unwind."""
+        task, self._task = self._task, None
+        if task is not None:
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.geometry import kernels
 from repro.geometry.mbr import MBR
+from repro.storage.atomicio import write_json_atomic
 
 #: Filename of the persisted manifest inside a partition directory.
 MANIFEST_FILENAME = "manifest.json"
@@ -221,10 +222,18 @@ class ShardManifest:
             "shards": [shard.as_dict() for shard in self.shards],
         }
 
-    def save(self, directory) -> Path:
-        """Write ``manifest.json`` into ``directory``; returns its path."""
+    def save(self, directory, *, fsync: bool = False) -> Path:
+        """Write ``manifest.json`` into ``directory``; returns its path.
+
+        Published atomically (temp file + rename, ``manifest.write``
+        fault point), so concurrent readers and post-crash recovery only
+        ever see a complete manifest — the previous one or this one.
+        ``fsync=True`` makes the publication durable as well as atomic.
+        """
         path = Path(directory) / MANIFEST_FILENAME
-        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        write_json_atomic(
+            path, self.as_dict(), fsync=fsync, fault_point="manifest.write"
+        )
         return path
 
     @classmethod

@@ -30,6 +30,7 @@ from repro.rtree.flat import FlatRTree
 from repro.serve.protocol import decode_spec, encode_result, pack_frame, read_frame
 from repro.serve.server import DEFAULT_MAX_PENDING, GNNServer, ServerOverloadedError
 from repro.shard.wire import ShardPing, ShardPong, ShardQuery, ShardReply
+from repro.testing import faults
 
 
 class ShardNode:
@@ -189,6 +190,16 @@ class ShardNode:
                     break
                 if message is None:
                     break
+                # ``node.recv`` covers one received frame: a ``drop`` arm
+                # swallows it (the peer's request times out), ``delay``
+                # holds it, and ``kill`` dies mid-conversation — the
+                # chaos suite's dead-shard scenarios.
+                action = faults.frame_action("node.recv")
+                if action is not None:
+                    if action[0] == "drop":
+                        continue
+                    if action[0] == "delay":
+                        await asyncio.sleep(action[1])
                 if isinstance(message, ShardPing):
                     self._write_frame(
                         writer,

@@ -50,12 +50,17 @@ class ShardWriter:
         Hilbert curve order used for routing; must match the order the
         dataset was partitioned with (the default matches the
         partitioner's default).
+    fsync:
+        When True, compaction fsyncs every published shard snapshot and
+        the manifest — crash-durable publication at the cost of a disk
+        flush per file.  Publication is *atomic* either way.
     """
 
     def __init__(self, directory, manifest: ShardManifest | None = None, *,
-                 order: int = DEFAULT_ORDER):
+                 order: int = DEFAULT_ORDER, fsync: bool = False):
         self.directory = Path(directory)
         self.manifest = manifest or ShardManifest.load(self.directory)
+        self.fsync = bool(fsync)
         self._order = int(order)
         self._engines: dict[int, GNNEngine] = {}
         self._next_id: int | None = None
@@ -184,7 +189,7 @@ class ShardWriter:
             flat = engine.compact(capacity=self.manifest.capacity)
             flat.generation = generation
             name = shard_snapshot_name(shard_id, generation)
-            flat.save(self.directory / name, generation=generation)
+            flat.save(self.directory / name, generation=generation, fsync=self.fsync)
             rows[shard_id] = self._describe(shard_id, name, flat)
         manifest = ShardManifest(
             dims=self.manifest.dims,
@@ -193,7 +198,7 @@ class ShardWriter:
             generation=generation,
             shards=tuple(rows),
         )
-        manifest.save(self.directory)
+        manifest.save(self.directory, fsync=self.fsync)
         self.manifest = manifest
         return manifest
 

@@ -7,13 +7,17 @@ model pages and blocks explicitly and count every read, so the
 experiments can report I/O alongside R-tree node accesses.
 """
 
+from repro.storage.atomicio import atomic_output, fsync_directory, write_json_atomic
 from repro.storage.buffer import LRUBuffer
 from repro.storage.counters import IOCounters, MappedPageCounters, merge_snapshots
+from repro.storage.generations import GenerationStore, snapshot_name
 from repro.storage.pager import Page, Pager
 from repro.storage.pointfile import BlockSummary, PointFile, QueryBlock
+from repro.storage.wal import WalCorruptionError, WalRecord, WalScan, WriteAheadLog
 
 __all__ = [
     "BlockSummary",
+    "GenerationStore",
     "IOCounters",
     "LRUBuffer",
     "MappedPageCounters",
@@ -21,5 +25,13 @@ __all__ = [
     "Pager",
     "PointFile",
     "QueryBlock",
+    "WalCorruptionError",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "atomic_output",
+    "fsync_directory",
     "merge_snapshots",
+    "snapshot_name",
+    "write_json_atomic",
 ]

@@ -1,0 +1,93 @@
+"""Atomic (and optionally durable) file publication.
+
+Every file the system *publishes* — snapshots, manifests, baselines —
+goes through the same discipline: write a same-directory temp file,
+flush it, optionally ``fsync`` it, then :func:`os.replace` it into
+place (atomic on POSIX and Windows) and optionally ``fsync`` the
+directory so the rename itself survives a power cut.  Readers therefore
+only ever observe the old complete file or the new complete file; a
+crash at any instant leaves at worst a stray ``*.tmp`` the next
+publication ignores.
+
+``fsync=False`` (the default) keeps the *atomicity* — torn files are
+impossible regardless — and skips only the durability barrier; callers
+on a recovery-critical path (the generation store, WAL truncation) pass
+``fsync=True``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+
+from repro.testing import faults
+
+
+def fsync_directory(directory) -> None:
+    """Durably record a directory's entries (best-effort off-POSIX)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return  # platforms that refuse O_RDONLY on directories
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_output(path, *, fsync: bool = False, fault_point: str | None = None):
+    """Yield a binary handle whose contents appear at ``path`` atomically.
+
+    On clean exit the temp file is flushed (and ``fsync``\\ 'd when asked),
+    the optional ``fault_point`` fires (letting the chaos suite crash
+    the publication *between* the complete temp file and the rename),
+    and the file is renamed into place.  On any exception the temp file
+    is removed and ``path`` is untouched.
+    """
+    path = str(path)
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    handle = os.fdopen(fd, "wb")
+    try:
+        yield handle
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+        handle.close()
+        if fault_point is not None:
+            faults.fire(fault_point)
+        os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        try:
+            handle.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_json_atomic(
+    path, document: dict, *, fsync: bool = False, fault_point: str | None = None
+) -> None:
+    """Write ``document`` as JSON via temp file + atomic rename.
+
+    Readers (and the committed repository) only ever observe the old
+    complete file or the new complete file — never a truncation from an
+    interrupted run.  ``fsync=True`` adds the durability barrier.
+    """
+    with atomic_output(path, fsync=fsync, fault_point=fault_point) as handle:
+        handle.write(
+            (json.dumps(document, indent=2, sort_keys=True) + "\n").encode("utf-8")
+        )

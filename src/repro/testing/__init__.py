@@ -1,0 +1,29 @@
+"""Deterministic testing instrumentation (fault injection)."""
+
+from repro.testing.faults import (
+    FAULT_POINTS,
+    FaultError,
+    FaultPlan,
+    InjectedCrash,
+    active,
+    clear,
+    filter_write,
+    fire,
+    frame_action,
+    install,
+    is_active,
+)
+
+__all__ = [
+    "FAULT_POINTS",
+    "FaultError",
+    "FaultPlan",
+    "InjectedCrash",
+    "active",
+    "clear",
+    "filter_write",
+    "fire",
+    "frame_action",
+    "install",
+    "is_active",
+]
