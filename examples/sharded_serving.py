@@ -76,7 +76,7 @@ def main() -> None:
                     == [n.as_tuple() for n in reference.execute(spec).neighbors]
                     for spec, result in zip(specs, results)
                 )
-                stats = engine.stats()
+                stats = engine.stats()["coordinator"]
                 contacted = stats["shards_contacted"] / (stats["queries"] * SHARDS)
                 print(
                     f"{matches}/{len(specs)} federated answers identical to the "

@@ -66,6 +66,8 @@ from repro.core.spm import spm
 from repro.core.types import GNNResult, GroupNeighbor, GroupQuery, QueryCost
 from repro.geometry import kernels
 from repro.geometry.hilbert import hilbert_indices
+from repro.obs import slowlog as obs_slowlog
+from repro.obs import trace as obs_trace
 from repro.rtree.flat import FlatRTree
 from repro.rtree.overlay import DeltaOverlay
 from repro.rtree.tree import RTree
@@ -162,9 +164,26 @@ def execute_spec(
     planner: QueryPlanner | None = None,
     plan: QueryPlan | None = None,
 ) -> GNNResult:
-    """Plan (unless a plan is supplied) and execute one spec."""
-    if plan is None:
-        plan = (planner or QueryPlanner()).plan(spec)
+    """Plan (unless a plan is supplied) and execute one spec.
+
+    With a tracer or slow-query log enabled (:mod:`repro.obs`) the call
+    is wrapped in a ``query`` span tree and threshold-checked; the
+    common disabled path pays exactly two module-global ``is None``
+    reads on top of the classic code.
+    """
+    tracer = obs_trace.get()
+    slow = obs_slowlog.get()
+    if tracer is None and slow is None:
+        if plan is None:
+            plan = (planner or QueryPlanner()).plan(spec)
+        return _run_planned(context, spec, plan)
+    return _execute_observed(context, spec, planner, plan, tracer, slow)
+
+
+def _run_planned(
+    context: ExecutionContext, spec: QuerySpec, plan: QueryPlan
+) -> GNNResult:
+    """The classic execution core: route one planned spec to its runner."""
     if plan.residency != MEMORY and context.tree is None:
         raise ValueError(
             "disk-resident specs traverse the object R-tree, but this "
@@ -177,6 +196,79 @@ def execute_spec(
         result = plan.algorithm.runner(context, prepare(spec, plan))
     if spec.trace:
         result.plan = plan
+    return result
+
+
+def _execute_observed(
+    context: ExecutionContext,
+    spec: QuerySpec,
+    planner: QueryPlanner | None,
+    plan: QueryPlan | None,
+    tracer,
+    slow,
+) -> GNNResult:
+    """:func:`execute_spec` with observability on: span tree + slow log.
+
+    The ``query`` root span's counter attributes are copied from
+    ``result.cost`` *after* execution, so for a single query they
+    reconcile exactly — by construction — with both the result's cost
+    and the index's stats delta (pinned by the obs test suite).
+    """
+    started = time.perf_counter()
+    root = (
+        tracer.start(
+            "query",
+            k=spec.k,
+            group_size=spec.cardinality,
+            aggregate=spec.aggregate,
+        )
+        if tracer is not None
+        else None
+    )
+    try:
+        if plan is None:
+            plan_span = (
+                tracer.start("query.plan", parent=root) if tracer is not None else None
+            )
+            plan = (planner or QueryPlanner()).plan(spec)
+            if plan_span is not None:
+                tracer.finish(
+                    plan_span,
+                    algorithm=plan.algorithm.name,
+                    residency=plan.residency,
+                    rationale=plan.rationale,
+                )
+        execute_span = (
+            tracer.start("query.execute", parent=root) if tracer is not None else None
+        )
+        result = _run_planned(context, spec, plan)
+        if execute_span is not None:
+            tracer.finish(execute_span, algorithm=result.cost.algorithm)
+    except BaseException as error:
+        if root is not None:
+            tracer.finish(root, outcome="error", error=str(error))
+        raise
+    elapsed = time.perf_counter() - started
+    if root is not None:
+        tracer.finish(
+            root,
+            outcome="ok",
+            algorithm=result.cost.algorithm,
+            node_accesses=result.cost.node_accesses,
+            leaf_accesses=result.cost.leaf_accesses,
+            page_faults=result.cost.page_faults,
+            distance_computations=result.cost.distance_computations,
+        )
+        result.trace_id = root["trace_id"]
+    if slow is not None:
+        slow.observe(
+            elapsed,
+            kind="query",
+            spec=spec,
+            plan=plan,
+            cost=result.cost,
+            trace_id=None if root is None else root["trace_id"],
+        )
     return result
 
 

@@ -134,6 +134,12 @@ def main(argv=None) -> int:
             f"  shard  4-shard throughput speedup over 1 shard: "
             f"{sharded['throughput_speedup_4s_vs_1s']:.2f}x"
         )
+        observability = document["observability"]
+        print(
+            f"  obs    disabled {observability['disabled_ms_per_query']:8.2f} ms/query   "
+            f"enabled {observability['enabled_ms_per_query']:8.2f} ms/query   "
+            f"overhead {observability['enabled_overhead']:.3f}x"
+        )
         if args.compare is not None:
             with open(args.compare, "r", encoding="utf-8") as handle:
                 reference = json.load(handle)

@@ -75,8 +75,11 @@ from repro.storage.pointfile import PointFile
 #: dirty delta overlay vs the equivalent frozen snapshot).  Schema 6
 #: added the ``durability`` section (write-ahead-logged insert overhead
 #: at the ``interval`` fsync policy vs the volatile overlay write path,
-#: plus crash-recovery replay time).
-SCHEMA_VERSION = 6
+#: plus crash-recovery replay time).  Schema 7 added the
+#: ``observability`` section (fig-5.1 query latency with the obs layer
+#: disabled vs fully enabled — tracing, metrics, slow-query log, JSON
+#: logging — gating the cost of instrumentation).
+SCHEMA_VERSION = 7
 
 #: Default output filename (also the CI artifact name).
 DEFAULT_OUTPUT = "BENCH_quick.json"
@@ -547,7 +550,7 @@ def _sharded_baseline(repeats: int) -> dict:
                 )
 
         for shard_count, sharded in federations.items():
-            stats = sharded.stats()
+            stats = sharded.stats()["coordinator"]
             contact_rate = stats["shards_contacted"] / max(
                 1, stats["queries"] * shard_count
             )
@@ -781,6 +784,65 @@ def _durability_baseline(repeats: int) -> dict:
     }
 
 
+def _observability_baseline(repeats: int) -> dict:
+    """Query latency with observability off vs fully on (schema 7).
+
+    The fig-5.1 smoke workload runs through ``engine.execute`` twice:
+    first with the obs layer disabled (the production default — every
+    instrumentation site pays two module-global ``is None`` reads) and
+    then with tracing, metrics, the slow-query log and JSON logging all
+    enabled.  ``observability_efficiency`` is disabled over enabled
+    latency — 1.0 means instrumentation is free, 0.9 means enabling
+    everything costs ~11% — and the ``--compare`` gate holds its floor,
+    so observability can never silently grow into the query path.
+    """
+    from repro.obs import disable_all, enable_all
+
+    data = pp_like(FIG51_DATASET_SIZE)
+    engine = GNNEngine(data, capacity=50)
+    workload = generate_workload(
+        data,
+        WorkloadSpec(
+            n=FIG51_CARDINALITY,
+            mbr_fraction=FIG51_MBR_FRACTION,
+            k=FIG51_K,
+            queries=FIG51_QUERIES,
+        ),
+        seed=FIG51_SEED,
+    )
+    specs = [QuerySpec(group=group, k=FIG51_K) for group in workload]
+
+    def run():
+        for spec in specs:
+            engine.execute(spec)
+        return len(specs)
+
+    disable_all()  # defensive: measure the true production default
+    disabled_ms = _median_runtime(run, repeats) * 1000.0
+    with open(os.devnull, "w", encoding="utf-8") as sink:
+        enable_all(log_stream=sink)
+        try:
+            enabled_ms = _median_runtime(run, repeats) * 1000.0
+        finally:
+            disable_all()
+    return {
+        "setting": {
+            "figure": "5.1",
+            "scale": "smoke",
+            "dataset": f"pp_like({FIG51_DATASET_SIZE})",
+            "n": FIG51_CARDINALITY,
+            "mbr_fraction": FIG51_MBR_FRACTION,
+            "k": FIG51_K,
+            "queries": FIG51_QUERIES,
+            "enabled": "trace + metrics + slowlog + logging",
+        },
+        "disabled_ms_per_query": round(disabled_ms, 4),
+        "enabled_ms_per_query": round(enabled_ms, 4),
+        "enabled_overhead": round(enabled_ms / disabled_ms, 3),
+        "observability_efficiency": round(disabled_ms / enabled_ms, 3),
+    }
+
+
 def quick_baseline(repeats: int = 5) -> dict:
     """Measure all configurations and return the baseline document."""
     return {
@@ -796,6 +858,7 @@ def quick_baseline(repeats: int = 5) -> dict:
         "durability": _durability_baseline(repeats),
         "serving": _serving_baseline(repeats),
         "sharded": _sharded_baseline(repeats),
+        "observability": _observability_baseline(repeats),
     }
 
 
@@ -827,6 +890,11 @@ def collect_speedups(document: dict) -> dict[str, float]:
     sharded = document.get("sharded", {})
     if "throughput_speedup_4s_vs_1s" in sharded:
         speedups["sharded_speedup"] = float(sharded["throughput_speedup_4s_vs_1s"])
+    observability = document.get("observability", {})
+    if "observability_efficiency" in observability:
+        speedups["observability_efficiency"] = float(
+            observability["observability_efficiency"]
+        )
     return speedups
 
 

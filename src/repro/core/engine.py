@@ -158,9 +158,11 @@ class GNNEngine:
         was already folded into the snapshot, so it is discarded rather
         than replayed twice.
         """
+        from repro.obs.logging import get_logger
         from repro.storage.generations import GenerationStore
         from repro.storage.wal import WriteAheadLog
 
+        log = get_logger("core.engine")
         store = GenerationStore(directory)
         flat = store.latest(mmap_mode=mmap_mode)
         if flat is None:
@@ -168,6 +170,7 @@ class GNNEngine:
                 f"no complete snapshot generation under {store.directory}"
             )
         engine = cls.from_index(flat)
+        replayed = 0
         wal_path = store.wal_path
         if wal_path.exists():
             scan = WriteAheadLog.scan(wal_path)
@@ -183,6 +186,7 @@ class GNNEngine:
                         engine.insert(record.point, record_id=record.record_id)
                     else:
                         engine.delete(record.point, record.record_id)
+                    replayed += 1
         wal = WriteAheadLog(
             wal_path, fsync=fsync, interval_s=interval_s,
             base_generation=flat.generation,
@@ -190,6 +194,13 @@ class GNNEngine:
         if wal.base_generation != flat.generation:
             wal.reset(flat.generation)  # stale, fully-folded log: discard
         engine.attach_wal(wal)
+        log.info(
+            "engine.recovered",
+            directory=str(store.directory),
+            generation=flat.generation,
+            size=flat.size,
+            wal_records_replayed=replayed,
+        )
         return engine
 
     # ------------------------------------------------------------------

@@ -1,0 +1,89 @@
+"""Scrape a running federation and print a one-screen dashboard.
+
+Examples::
+
+    # one node
+    python -m repro.obs 127.0.0.1:45123
+
+    # a federation; print raw Prometheus text instead of the dashboard
+    python -m repro.obs 127.0.0.1:45123 127.0.0.1:45124 --metrics
+
+    # poll every 2 seconds until interrupted
+    python -m repro.obs 127.0.0.1:45123 --watch 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.obs.exposition import render_dashboard, scrape_node
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Scrape running GNN shard nodes (the STATS wire op) "
+        "and print a dashboard.",
+    )
+    parser.add_argument(
+        "addresses",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="shard-node wire addresses to scrape",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print each node's rendered Prometheus text instead of the dashboard",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="per-node scrape timeout in seconds (default 5)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="re-scrape and re-print every SECONDS until interrupted",
+    )
+    return parser
+
+
+def _scrape_all(addresses, timeout):
+    scrapes = []
+    for address in addresses:
+        try:
+            scrapes.append((address, scrape_node(address, timeout=timeout)))
+        except Exception as exc:  # noqa: BLE001 - an unreachable node is data
+            scrapes.append((address, exc))
+    return scrapes
+
+
+def main(argv=None) -> int:
+    args = _parser().parse_args(argv)
+    while True:
+        scrapes = _scrape_all(args.addresses, args.timeout)
+        if args.metrics:
+            for address, payload in scrapes:
+                print(f"# --- {address} ---")
+                if isinstance(payload, Exception):
+                    print(f"# unreachable: {payload}")
+                else:
+                    sys.stdout.write(payload.get("metrics") or "# (no registry)\n")
+        else:
+            print(render_dashboard(scrapes))
+        reachable = sum(
+            1 for _, payload in scrapes if not isinstance(payload, Exception)
+        )
+        if args.watch is None:
+            return 0 if reachable == len(scrapes) else 1
+        time.sleep(args.watch)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

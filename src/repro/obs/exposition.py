@@ -1,0 +1,204 @@
+"""Prometheus text-format exposition and the tiny admin endpoints.
+
+Three consumers, one renderer:
+
+* :func:`render` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+  into Prometheus text exposition format 0.0.4 (hand-rolled — the repo
+  takes no new dependencies);
+* :class:`HttpExposition` is an optional stdlib HTTP listener
+  (``GET /metrics``, ``GET /stats``, ``GET /healthz``) that
+  :class:`~repro.serve.server.GNNServer` and
+  :class:`~repro.shard.node.ShardNode` can start on demand;
+* :func:`scrape_node` speaks the ``ShardStatsQuery`` wire op over a
+  plain blocking socket so ``python -m repro.obs`` can scrape a running
+  federation without joining its event loop.
+"""
+
+from __future__ import annotations
+
+import http.server
+import json
+import socket
+import threading
+
+from repro.obs.metrics import MetricsRegistry
+
+_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in str(value))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render(registry: MetricsRegistry) -> str:
+    """Render every family of ``registry`` as Prometheus text format."""
+    lines = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for sample in family.samples:
+            if sample.labels:
+                labels = ",".join(
+                    f'{key}="{_escape_label(value)}"'
+                    for key, value in sample.labels.items()
+                )
+                lines.append(f"{sample.name}{{{labels}}} {_format_value(sample.value)}")
+            else:
+                lines.append(f"{sample.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+class HttpExposition:
+    """A daemon-threaded stdlib HTTP server exposing metrics and stats.
+
+    Routes::
+
+        GET /metrics   Prometheus text format (from ``registry``)
+        GET /stats     the owner's ``stats()`` dict as JSON
+        GET /healthz   200 "ok"
+    """
+
+    def __init__(self, registry: MetricsRegistry, stats_fn=None,
+                 host: str = "127.0.0.1", port: int = 0):
+        exposition = self
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            def do_GET(self):  # noqa: N802 - stdlib naming
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = render(exposition.registry).encode("utf-8")
+                    ctype = "text/plain; version=0.0.4; charset=utf-8"
+                elif self.path.split("?", 1)[0] == "/stats":
+                    stats = exposition.stats_fn() if exposition.stats_fn else {}
+                    body = json.dumps(stats, sort_keys=True, default=str).encode("utf-8")
+                    ctype = "application/json"
+                elif self.path.split("?", 1)[0] == "/healthz":
+                    body = b"ok\n"
+                    ctype = "text/plain"
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args):  # silence per-request stderr lines
+                pass
+
+        self.registry = registry
+        self.stats_fn = stats_fn
+        self._httpd = http.server.ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self.address = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-obs-http", daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# scraping shard nodes over the wire protocol
+# ----------------------------------------------------------------------
+def scrape_node(address, timeout: float = 5.0) -> dict:
+    """Fetch a :class:`ShardNode`'s stats payload over its TCP front.
+
+    ``address`` is ``(host, port)`` or ``"host:port"``.  Returns the
+    ``ShardStatsReply`` payload: ``{"shard_id", "generation", "stats",
+    "metrics"}`` (``metrics`` is rendered Prometheus text, present when
+    the node carries a registry).
+    """
+    # Imported here so the obs package stays importable without the
+    # serving extras loaded first.
+    from repro.shard.wire import ShardStatsQuery, ShardStatsReply, pack_frame
+
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        address = (host or "127.0.0.1", int(port))
+    with socket.create_connection(tuple(address), timeout=timeout) as conn:
+        conn.settimeout(timeout)
+        conn.sendall(pack_frame(ShardStatsQuery(request_id=0)))
+        header = _read_exact(conn, 4)
+        length = int.from_bytes(header, "big")
+        frame = _read_exact(conn, length)
+    import pickle
+
+    reply = pickle.loads(frame)
+    if not isinstance(reply, ShardStatsReply):
+        raise ValueError(f"unexpected reply to stats query: {type(reply).__name__}")
+    return reply.payload
+
+
+def _read_exact(conn: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = conn.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def render_dashboard(scrapes: list) -> str:
+    """One-screen text dashboard from ``[(address, payload), ...]``."""
+    lines = ["repro federation dashboard", "=" * 64]
+    for address, payload in scrapes:
+        if isinstance(payload, Exception):
+            lines.append(f"{address}  UNREACHABLE ({payload})")
+            continue
+        stats = payload.get("stats", {})
+        server = stats.get("server", {})
+        latency = stats.get("latency_ms", {})
+        total = stats.get("total", {})
+        lines.append(
+            f"shard {payload.get('shard_id', '?')} @ {address}  "
+            f"gen {payload.get('generation', '?')}"
+        )
+        lines.append(
+            "  requests: "
+            f"{server.get('completed', 0)} ok / {server.get('failed', 0)} failed / "
+            f"{server.get('shed', 0)} shed   pending {server.get('pending', 0)}   "
+            f"workers {server.get('workers_alive', '?')} "
+            f"(deaths {server.get('worker_deaths', 0)})"
+        )
+        lines.append(
+            "  latency ms: "
+            + "  ".join(f"{key} {value}" for key, value in sorted(latency.items()))
+        )
+        lines.append(
+            "  work: "
+            f"NA {total.get('node_accesses', 0)}  "
+            f"dist {total.get('distance_computations', 0)}  "
+            f"cpu {round(total.get('cpu_time', 0.0), 3)}s  "
+            f"swaps {server.get('swaps', 0)}"
+        )
+    lines.append("=" * 64)
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Threshold-triggered slow-query log.
+
+When installed, the executor and the shard coordinator time every query
+and, for those at or above the threshold, record a structured entry:
+the spec summary, the planner's rationale, the counter deltas the query
+charged, and — for federated queries — per-shard timings, attempts and
+outcomes.  Entries land in a bounded in-memory ring and, optionally, a
+JSONL file.
+
+Disabled (the default) the hot-path cost is the usual single ``is
+None`` check, following :mod:`repro.testing.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+#: Default slow threshold: 50 ms, far above any healthy memory query.
+DEFAULT_THRESHOLD_S = 0.050
+
+#: Default ring capacity.
+DEFAULT_CAPACITY = 256
+
+
+def spec_summary(spec) -> dict:
+    """A compact, JSON-able description of a query spec."""
+    summary = {
+        "group_size": len(spec.group) if spec.group is not None else spec.cardinality,
+        "k": spec.k,
+        "aggregate": getattr(spec.aggregate, "value", str(spec.aggregate)),
+        "algorithm": getattr(spec.algorithm, "value", str(spec.algorithm)),
+        "residency": getattr(spec.residency, "value", str(spec.residency)),
+        "index": getattr(spec.index, "value", str(spec.index)),
+    }
+    if spec.label is not None:
+        summary["label"] = spec.label
+    return summary
+
+
+class SlowQueryLog:
+    """Bounded ring of slow-query records with an optional JSONL sink."""
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_THRESHOLD_S,
+        capacity: int = DEFAULT_CAPACITY,
+        jsonl_path=None,
+    ):
+        self.threshold_s = float(threshold_s)
+        self._ring: deque = deque(maxlen=int(capacity))
+        self._lock = threading.Lock()
+        self._sink = None
+        if jsonl_path is not None:
+            self._sink = open(os.fspath(jsonl_path), "a", encoding="utf-8")
+        self.observed = 0
+        self.recorded = 0
+
+    def observe(
+        self,
+        latency_s: float,
+        *,
+        kind: str,
+        spec=None,
+        plan=None,
+        cost=None,
+        trace_id: str | None = None,
+        shards: list | None = None,
+        **extra,
+    ) -> dict | None:
+        """Record the query if it crossed the threshold.
+
+        ``kind`` names the execution surface (``"engine"``,
+        ``"coordinator"``); ``cost`` is the query's counter delta
+        (a :class:`~repro.core.types.QueryCost` or a plain dict);
+        ``shards`` carries per-shard ``{"shard", "elapsed_s",
+        "attempts", "outcome"}`` records for federated queries.
+        """
+        self.observed += 1
+        if latency_s < self.threshold_s:
+            return None
+        record = {
+            "ts": round(time.time(), 6),
+            "kind": kind,
+            "latency_s": round(float(latency_s), 6),
+        }
+        if spec is not None:
+            record["spec"] = spec_summary(spec)
+        if plan is not None:
+            record["plan"] = {
+                "algorithm": getattr(plan.algorithm, "value", str(plan.algorithm)),
+                "rationale": getattr(plan, "rationale", None),
+            }
+        if cost is not None:
+            record["cost"] = cost if isinstance(cost, dict) else cost.as_dict()
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if shards is not None:
+            record["shards"] = shards
+        record.update(extra)
+        with self._lock:
+            self._ring.append(record)
+            self.recorded += 1
+            if self._sink is not None:
+                self._sink.write(json.dumps(record, sort_keys=True, default=str) + "\n")
+                self._sink.flush()
+        return record
+
+    def entries(self) -> list[dict]:
+        with self._lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+
+# ----------------------------------------------------------------------
+# the active log (process-global; faults.py `is None` template)
+# ----------------------------------------------------------------------
+_active: SlowQueryLog | None = None
+
+
+def get() -> SlowQueryLog | None:
+    """The installed slow-query log, or ``None`` (production default)."""
+    return _active
+
+
+def enable(
+    threshold_s: float = DEFAULT_THRESHOLD_S,
+    capacity: int = DEFAULT_CAPACITY,
+    jsonl_path=None,
+) -> SlowQueryLog:
+    global _active
+    _active = SlowQueryLog(threshold_s, capacity, jsonl_path)
+    return _active
+
+
+def disable() -> None:
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = None

@@ -1,0 +1,238 @@
+"""Per-query trace contexts: span trees across process and shard hops.
+
+A *span* here is deliberately a plain ``dict`` — it must cross
+multiprocessing queues (server → worker → server) and TCP frames
+(coordinator → shard node → coordinator) with nothing but pickle, and
+it must be buildable in a forked worker process that has no
+:class:`Tracer` installed at all.  The shape::
+
+    {"trace_id": str, "span_id": str, "parent_id": str | None,
+     "name": str, "start_s": float, "end_s": float | None,
+     "attrs": {...}}
+
+Timestamps are ``time.monotonic()`` — on Linux that is CLOCK_MONOTONIC,
+which is shared across processes on one host, so worker- and node-side
+spans order correctly against the parent span that spawned them.
+
+The enable/disable protocol copies the fault-injection template from
+:mod:`repro.testing.faults`: the module-global tracer is ``None`` in
+production and every instrumentation site guards with a single
+``is None`` test, so disabled tracing costs one global read per query.
+Spans are exported into a bounded in-memory ring (newest win) and,
+optionally, appended as JSON lines to a sink file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+
+#: Default capacity of the in-memory span ring.
+DEFAULT_RING = 4096
+
+_ids = itertools.count(1)
+_ids_lock = threading.Lock()
+
+
+def new_id() -> str:
+    """A process-unique hex id (pid-prefixed so forked workers never collide)."""
+    with _ids_lock:
+        serial = next(_ids)
+    return f"{os.getpid():x}-{serial:x}"
+
+
+def start_span(
+    name: str,
+    *,
+    trace_id: str | None = None,
+    parent_id: str | None = None,
+    **attrs,
+) -> dict:
+    """Create a started span dict (usable with no tracer installed).
+
+    With no ``trace_id`` the span starts a new trace and becomes its
+    root.  ``attrs`` seed the span's attribute dict.
+    """
+    return {
+        "trace_id": trace_id if trace_id is not None else new_id(),
+        "span_id": new_id(),
+        "parent_id": parent_id,
+        "name": name,
+        "start_s": time.monotonic(),
+        "end_s": None,
+        "attrs": dict(attrs),
+    }
+
+
+def child_span(parent: dict, name: str, **attrs) -> dict:
+    """A span parented under ``parent`` (same trace)."""
+    return start_span(
+        name, trace_id=parent["trace_id"], parent_id=parent["span_id"], **attrs
+    )
+
+
+def finish_span(span: dict, **attrs) -> dict:
+    """Stamp ``end_s`` and merge ``attrs``; returns the span for chaining."""
+    span["end_s"] = time.monotonic()
+    if attrs:
+        span["attrs"].update(attrs)
+    return span
+
+
+def span_duration_s(span: dict) -> float:
+    """Elapsed seconds of a finished span (0.0 while still open)."""
+    end = span.get("end_s")
+    return 0.0 if end is None else end - span["start_s"]
+
+
+class Tracer:
+    """Bounded in-memory span ring with an optional JSONL sink.
+
+    Spans are *exported* (not merely created) into the tracer — a span
+    built remotely (in a worker or on a shard node) is exported by
+    whichever process owns the tracer once it arrives back over the
+    wire.  Export order is arbitrary; :meth:`tree` reassembles by
+    parent links.
+    """
+
+    def __init__(self, ring: int = DEFAULT_RING, jsonl_path=None):
+        self._ring: deque = deque(maxlen=int(ring))
+        self._lock = threading.Lock()
+        self._sink = None
+        self._sink_path = None
+        if jsonl_path is not None:
+            self._sink_path = os.fspath(jsonl_path)
+            self._sink = open(self._sink_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # creating and exporting
+    # ------------------------------------------------------------------
+    def start(self, name: str, parent: dict | None = None, **attrs) -> dict:
+        """Create a started span, optionally under ``parent``."""
+        if parent is None:
+            return start_span(name, **attrs)
+        return child_span(parent, name, **attrs)
+
+    def finish(self, span: dict, **attrs) -> dict:
+        """Finish ``span`` and export it."""
+        finish_span(span, **attrs)
+        self.export(span)
+        return span
+
+    def export(self, *spans) -> None:
+        """Record finished spans (local or arrived from another process)."""
+        with self._lock:
+            for span in spans:
+                self._ring.append(span)
+                if self._sink is not None:
+                    self._sink.write(json.dumps(span, sort_keys=True) + "\n")
+            if self._sink is not None and spans:
+                self._sink.flush()
+
+    # ------------------------------------------------------------------
+    # reading back
+    # ------------------------------------------------------------------
+    def spans(self, trace_id: str | None = None) -> list[dict]:
+        """All buffered spans, optionally filtered to one trace."""
+        with self._lock:
+            buffered = list(self._ring)
+        if trace_id is None:
+            return buffered
+        return [span for span in buffered if span["trace_id"] == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently buffered, oldest first."""
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span["trace_id"], None)
+        return list(seen)
+
+    def tree(self, trace_id: str) -> dict | None:
+        """Reassemble one trace's span tree; ``None`` if unknown.
+
+        Returns the root span dict with a ``"children"`` list added
+        recursively (children ordered by start time).  A trace with no
+        root or more than one root has no well-formed tree — callers
+        wanting to *validate* trees should use :func:`orphan_spans`.
+        """
+        spans = self.spans(trace_id)
+        if not spans:
+            return None
+        by_id = {span["span_id"]: dict(span, children=[]) for span in spans}
+        roots = []
+        for node in by_id.values():
+            parent = by_id.get(node["parent_id"])
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        for node in by_id.values():
+            node["children"].sort(key=lambda child: child["start_s"])
+        true_roots = [node for node in roots if node["parent_id"] is None]
+        if len(true_roots) != 1:
+            return None
+        return true_roots[0]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+
+def orphan_spans(spans) -> list[dict]:
+    """Spans whose ``parent_id`` names no span in ``spans`` (roots excluded).
+
+    An empty return is the "complete span tree" property the chaos suite
+    asserts: every non-root span's parent made it into the trace.
+    """
+    known = {span["span_id"] for span in spans}
+    return [
+        span
+        for span in spans
+        if span["parent_id"] is not None and span["parent_id"] not in known
+    ]
+
+
+# ----------------------------------------------------------------------
+# the active tracer (process-global; the faults.py `is None` template)
+# ----------------------------------------------------------------------
+_active: Tracer | None = None
+
+
+def get() -> Tracer | None:
+    """The installed tracer, or ``None`` (production default)."""
+    return _active
+
+
+def enable(ring: int = DEFAULT_RING, jsonl_path=None) -> Tracer:
+    """Install and return a fresh process-global tracer."""
+    global _active
+    _active = Tracer(ring=ring, jsonl_path=jsonl_path)
+    return _active
+
+
+def disable() -> None:
+    """Uninstall the tracer (back to the zero-cost path)."""
+    global _active
+    if _active is not None:
+        _active.close()
+    _active = None
+
+
+class active:
+    """Context manager: ``with trace.active() as tracer: ...``."""
+
+    def __init__(self, ring: int = DEFAULT_RING, jsonl_path=None):
+        self._ring = ring
+        self._jsonl_path = jsonl_path
+
+    def __enter__(self) -> Tracer:
+        return enable(ring=self._ring, jsonl_path=self._jsonl_path)
+
+    def __exit__(self, *exc) -> None:
+        disable()

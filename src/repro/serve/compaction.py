@@ -23,9 +23,13 @@ benchmark and the tests use the manual mode for determinism.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.core.engine import GNNEngine
+from repro.obs.logging import get_logger
 from repro.rtree.flat import FlatRTree
+
+_log = get_logger("serve.compaction")
 
 #: Default dirty-ratio trigger: compact once overlay writes reach 10% of
 #: the base snapshot's size (the benchmark's reference operating point).
@@ -143,8 +147,17 @@ class CompactingWriter:
         with self._lock:
             if not self.engine.dirty:
                 return None
+            started = time.perf_counter()
+            writes = self.engine.overlay.write_count
             flat = self.engine.compact()
             self.compactions += 1
+            _log.info(
+                "compaction.completed",
+                generation=flat.generation,
+                writes_folded=writes,
+                size=flat.size,
+                elapsed_s=round(time.perf_counter() - started, 6),
+            )
             if self.store is not None:
                 # Durable-first ordering: snapshot + manifest hit disk,
                 # *then* the WAL is truncated.  The writer lock spans

@@ -64,6 +64,14 @@ class BatchRequest:
     snapshot_path: str
     items: tuple[tuple[int, dict], ...]
     batch_id: int = -1
+    #: Trace contexts for the traced requests of the batch: a tuple of
+    #: ``(request_id, (trace_id, parent_span_id))`` pairs, or ``None``
+    #: when nothing in the batch is traced (the common, zero-cost case).
+    trace: tuple | None = None
+    #: ``time.monotonic()`` at dispatch (CLOCK_MONOTONIC is shared
+    #: across processes on one host): the gap to worker pickup is the
+    #: queue wait, stamped on traced ``serve.worker`` spans.
+    dispatched_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -99,6 +107,9 @@ class BatchReply:
     items: tuple[tuple[int, GNNResult | None, str | None], ...]
     counters: dict
     batch_id: int = -1
+    #: Span dicts built worker-side for the batch's traced requests
+    #: (each carries the trace_id it belongs to); empty when untraced.
+    spans: tuple = ()
 
 
 def check_servable(spec: QuerySpec, plan: QueryPlan) -> None:

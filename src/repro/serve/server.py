@@ -41,11 +41,16 @@ from repro.api.planner import QueryPlanner
 from repro.api.spec import QuerySpec
 from repro.core.engine import GNNEngine
 from repro.core.types import GNNResult
+from repro.obs import slowlog as obs_slowlog
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
 from repro.rtree.flat import FlatRTree
 from repro.serve.protocol import SHUTDOWN, BatchClaim, BatchRequest, check_servable, encode_spec
 from repro.serve.scheduler import MicroBatcher
 from repro.serve.stats import ServerStats
 from repro.serve.worker import worker_main
+
+_log = get_logger("serve.server")
 
 #: Default micro-batching window (seconds): long enough to coalesce a
 #: burst into one shared traversal, short enough to stay invisible next
@@ -154,6 +159,10 @@ class GNNServer:
         self._io_stall = float(io_stall_s_per_access)
         self._worker_deaths = 0
         self._dead_handled: set[int] = set()
+        # request_id -> (root span, arrived-with-a-remote-parent) for
+        # traced requests; empty (and never touched) when tracing is off.
+        self._trace_spans: dict[int, tuple[dict, bool]] = {}
+        self._exposition = None
         self._closed = threading.Event()
         self._close_lock = threading.Lock()
         self._close_done = threading.Event()
@@ -177,6 +186,12 @@ class GNNServer:
         )
         self._timer_thread.start()
         self._reply_thread.start()
+        _log.info(
+            "server.started",
+            workers=len(self._workers),
+            epoch=self._epoch,
+            snapshot=self._path,
+        )
 
     # ------------------------------------------------------------------
     # construction conveniences
@@ -197,13 +212,19 @@ class GNNServer:
     # ------------------------------------------------------------------
     # client API
     # ------------------------------------------------------------------
-    def submit(self, spec: QuerySpec) -> Future:
+    def submit(self, spec: QuerySpec, trace_parent: tuple | None = None) -> Future:
         """Admit one spec; returns a future resolving to its :class:`GNNResult`.
 
         Raises immediately (synchronously) for plan-time errors, for
         specs a snapshot-only worker cannot execute, and — past the
         ``max_pending`` high-water mark — with
         :class:`ServerOverloadedError` (shed-with-error backpressure).
+
+        ``trace_parent`` is an optional ``(trace_id, parent_span_id)``
+        context from a remote caller (the shard node): the request's
+        ``serve.request`` span parents under it and the collected span
+        tree rides back attached to the result.  Locally, a span is
+        created whenever a tracer is enabled.
         """
         if self._closed.is_set():
             raise RuntimeError("this GNNServer is closed")
@@ -223,6 +244,20 @@ class GNNServer:
         else:
             key = ("shared", *key)
 
+        root_span = None
+        if trace_parent is not None:
+            root_span = obs_trace.start_span(
+                "serve.request",
+                trace_id=trace_parent[0],
+                parent_id=trace_parent[1],
+                k=spec.k,
+                group_size=len(spec.group),
+            )
+        elif obs_trace.get() is not None:
+            root_span = obs_trace.start_span(
+                "serve.request", k=spec.k, group_size=len(spec.group)
+            )
+
         future: Future = Future()
         with self._cond:
             # Re-check under the lock: close() flips the flag and drains
@@ -240,6 +275,8 @@ class GNNServer:
             self._next_id += 1
             self._futures[request_id] = future
             self._submit_times[request_id] = time.monotonic()
+            if root_span is not None:
+                self._trace_spans[request_id] = (root_span, trace_parent is not None)
             self._stats.record_submit()
             ready = self._batcher.offer(key, (request_id, payload), time.monotonic())
             self._cond.notify_all()
@@ -267,7 +304,14 @@ class GNNServer:
     # observability
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Server-wide statistics snapshot (scheduler, latencies, workers)."""
+        """Server-wide statistics snapshot, in the unified nested shape.
+
+        Top-level keys: ``server`` (request outcomes, pool health),
+        ``latency_ms``, ``scheduler``, ``workers`` and ``total`` — the
+        same convention :meth:`ShardNode.stats` and
+        :meth:`ShardedEngine.stats` follow, so one metrics adapter reads
+        any of them.
+        """
         snapshot = self._stats.snapshot()
         with self._lock:
             snapshot["scheduler"] = {
@@ -276,9 +320,35 @@ class GNNServer:
                 "epoch": self._epoch,
                 "snapshot_path": self._path,
             }
-        snapshot["workers_alive"] = sum(p.is_alive() for p in self._workers)
-        snapshot["worker_deaths"] = self._worker_deaths
+        snapshot["server"]["workers_alive"] = sum(p.is_alive() for p in self._workers)
+        snapshot["server"]["worker_deaths"] = self._worker_deaths
         return snapshot
+
+    def latency_seconds(self) -> list[float]:
+        """The raw latency reservoir (scrape-time histogramming)."""
+        return self._stats.latency_seconds()
+
+    def start_exposition(self, host: str = "127.0.0.1", port: int = 0,
+                         registry=None, stats_fn=None):
+        """Start the optional admin HTTP listener; returns ``(host, port)``.
+
+        Serves ``/metrics`` (Prometheus text), ``/stats`` (JSON) and
+        ``/healthz``.  With no ``registry`` a fresh one is created and
+        this server's collector mounted on it.  Stopped by :meth:`close`.
+        """
+        from repro.obs.exposition import HttpExposition
+        from repro.obs.metrics import MetricsRegistry, server_collector
+
+        if self._exposition is not None:
+            return self._exposition.address
+        if registry is None:
+            registry = MetricsRegistry()
+            registry.register(server_collector(self))
+        self._exposition = HttpExposition(
+            registry, stats_fn=stats_fn or self.stats, host=host, port=port
+        )
+        _log.info("exposition.started", url=self._exposition.url)
+        return self._exposition.address
 
     @property
     def epoch(self) -> int:
@@ -317,6 +387,7 @@ class GNNServer:
             self._path = str(path)
             new_epoch = self._epoch
         self._stats.record_swap()
+        _log.info("snapshot.swapped", epoch=new_epoch, path=str(path))
         return new_epoch
 
     def publish_snapshot(self, source) -> int:
@@ -400,17 +471,24 @@ class GNNServer:
             now = time.monotonic()
             with self._lock:
                 unresolved = [
-                    (future, self._submit_times.get(request_id, now))
+                    (request_id, future, self._submit_times.get(request_id, now))
                     for request_id, future in self._futures.items()
                 ]
                 self._futures.clear()
                 self._submit_times.clear()
-            for future, submitted in unresolved:
+            for request_id, future, submitted in unresolved:
+                self._resolve_trace(request_id, None, "server closed")
                 if not future.done():
                     self._stats.record_outcome(now - submitted, failed=True)
                     future.set_exception(
                         ServingError("server closed before the request completed")
                     )
+            if self._exposition is not None:
+                try:
+                    self._exposition.close()
+                except OSError:
+                    pass
+                self._exposition = None
             # Unstick the queue feeder threads so interpreter exit never
             # hangs; tolerate queues a worker crash already broke.
             for q in (self._requests, self._replies):
@@ -420,6 +498,11 @@ class GNNServer:
                 except (OSError, ValueError):
                     pass
             self._close_done.set()
+            _log.info(
+                "server.closed",
+                worker_deaths=self._worker_deaths,
+                unresolved=len(unresolved),
+            )
 
     def __enter__(self) -> "GNNServer":
         return self
@@ -463,8 +546,27 @@ class GNNServer:
             batch_id = self._next_batch_id
             self._next_batch_id += 1
             self._batches[batch_id] = tuple(request_id for request_id, _ in items)
+            trace = None
+            if self._trace_spans:
+                contexts = []
+                for request_id, _ in items:
+                    entry = self._trace_spans.get(request_id)
+                    if entry is not None:
+                        span = entry[0]
+                        contexts.append(
+                            (request_id, (span["trace_id"], span["span_id"]))
+                        )
+                if contexts:
+                    trace = tuple(contexts)
         self._requests.put(
-            BatchRequest(epoch=epoch, snapshot_path=path, items=items, batch_id=batch_id)
+            BatchRequest(
+                epoch=epoch,
+                snapshot_path=path,
+                items=items,
+                batch_id=batch_id,
+                trace=trace,
+                dispatched_s=time.monotonic(),
+            )
         )
 
     def _try_dispatch(self, items: list) -> None:
@@ -528,11 +630,17 @@ class GNNServer:
                     for request_id in self._batches.pop(batch_id, ()):
                         future = self._futures.pop(request_id, None)
                         submitted = self._submit_times.pop(request_id, now)
-                        if future is not None:
-                            doomed.append((future, submitted))
+                        doomed.append((request_id, future, submitted))
                     self._claims.pop(batch_id, None)
-            for future, submitted in doomed:
-                if not future.done():
+            _log.warning(
+                "worker.died",
+                worker=worker_id,
+                deaths=self._worker_deaths,
+                lost_batches=len(lost_batches),
+            )
+            for request_id, future, submitted in doomed:
+                self._resolve_trace(request_id, None, "worker died")
+                if future is not None and not future.done():
                     self._stats.record_outcome(now - submitted, failed=True)
                     future.set_exception(
                         WorkerDiedError(
@@ -545,6 +653,34 @@ class GNNServer:
                 replacement.start()
                 self._workers[worker_id] = replacement
                 self._dead_handled.discard(worker_id)
+                _log.info("worker.respawned", worker=worker_id)
+
+    def _resolve_trace(
+        self, request_id: int, result, error: str | None, worker_spans=()
+    ) -> None:
+        """Finish, export and (for remote callers) attach a request's spans.
+
+        Must be called *without* :attr:`_lock` held.  No-op for untraced
+        requests — the common path costs one dict lookup that only
+        happens when ``_trace_spans`` is non-empty.
+        """
+        with self._lock:
+            entry = self._trace_spans.pop(request_id, None)
+        if entry is None:
+            return
+        root, remote = entry
+        if error is None:
+            obs_trace.finish_span(root, outcome="ok")
+        else:
+            obs_trace.finish_span(root, outcome="error", error=error)
+        spans = [root, *worker_spans]
+        tracer = obs_trace.get()
+        if tracer is not None:
+            tracer.export(*spans)
+        if result is not None:
+            result.trace_id = root["trace_id"]
+            if remote:
+                result.spans = tuple(spans)
 
     def _reply_loop(self) -> None:
         """Resolve futures from worker replies; exits when stopped and idle."""
@@ -564,14 +700,15 @@ class GNNServer:
                     now = time.monotonic()
                     with self._lock:
                         dead = [
-                            (future, self._submit_times.get(request_id, now))
+                            (request_id, future, self._submit_times.get(request_id, now))
                             for request_id, future in self._futures.items()
                         ]
                         self._futures.clear()
                         self._submit_times.clear()
                         self._batches.clear()
                         self._claims.clear()
-                    for future, submitted in dead:
+                    for request_id, future, submitted in dead:
+                        self._resolve_trace(request_id, None, "all workers died")
                         if not future.done():
                             self._stats.record_outcome(now - submitted, failed=True)
                             future.set_exception(
@@ -588,14 +725,32 @@ class GNNServer:
                 self._batches.pop(reply.batch_id, None)
                 self._claims.pop(reply.batch_id, None)
             self._stats.record_reply(reply.worker_id, reply.counters)
+            spans_by_trace: dict[str, list] = {}
+            for span in reply.spans:
+                spans_by_trace.setdefault(span["trace_id"], []).append(span)
             now = time.monotonic()
             for request_id, result, error in reply.items:
                 with self._lock:
                     future = self._futures.pop(request_id, None)
                     submitted = self._submit_times.pop(request_id, None)
+                    entry = (
+                        self._trace_spans.get(request_id) if self._trace_spans else None
+                    )
+                if entry is not None:
+                    worker_spans = spans_by_trace.get(entry[0]["trace_id"], ())
+                    self._resolve_trace(request_id, result, error, worker_spans)
                 if future is None:
                     continue
                 latency = now - submitted if submitted is not None else 0.0
+                slow = obs_slowlog.get()
+                if slow is not None:
+                    slow.observe(
+                        latency,
+                        kind="serve",
+                        cost=None if result is None else result.cost,
+                        trace_id=None if result is None else result.trace_id,
+                        **({"error": error} if error is not None else {}),
+                    )
                 if error is not None:
                     self._stats.record_outcome(latency, failed=True)
                     future.set_exception(ServingError(error))

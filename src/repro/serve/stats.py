@@ -24,13 +24,27 @@ LATENCY_RESERVOIR = 8192
 LATENCY_PERCENTILES = (50.0, 95.0, 99.0)
 
 
-def percentile(values, q: float) -> float:
-    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
-    ordered = sorted(values)
+def _nearest_rank(ordered, q: float) -> float:
+    """Nearest-rank lookup into an already-sorted sequence."""
     if not ordered:
         return float("nan")
     rank = max(1, -(-len(ordered) * q // 100))  # ceil(len * q / 100)
     return float(ordered[int(rank) - 1])
+
+
+def percentile(values, q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    return _nearest_rank(sorted(values), q)
+
+
+def percentiles(values, qs) -> list[float]:
+    """Nearest-rank percentiles for every ``q`` in ``qs``, sorting once.
+
+    Bit-identical to calling :func:`percentile` per ``q`` — the reservoir
+    is just not re-sorted for each of them.
+    """
+    ordered = sorted(values)
+    return [_nearest_rank(ordered, q) for q in qs]
 
 
 @dataclass
@@ -169,6 +183,11 @@ class ServerStats:
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
+    def latency_seconds(self) -> list[float]:
+        """The raw latency reservoir (for scrape-time histogramming)."""
+        with self._lock:
+            return list(self._latencies)
+
     def snapshot(self) -> dict:
         """Server-wide view: scheduler counts, latencies, per-worker + total."""
         with self._lock:
@@ -187,9 +206,10 @@ class ServerStats:
         total = ServingCounters()
         for counters in workers.values():
             total.merge(counters)
+        ranks = percentiles(latencies, LATENCY_PERCENTILES)
         latency_ms = {
-            f"p{percent:g}": round(percentile(latencies, percent) * 1000.0, 3)
-            for percent in LATENCY_PERCENTILES
+            f"p{percent:g}": round(rank * 1000.0, 3)
+            for percent, rank in zip(LATENCY_PERCENTILES, ranks)
         }
         return {
             "server": server,

@@ -27,6 +27,7 @@ import time
 import traceback
 
 from repro.core.engine import GNNEngine
+from repro.obs import trace as obs_trace
 from repro.rtree.flat import FlatRTree
 from repro.serve.protocol import (
     SHUTDOWN,
@@ -47,9 +48,13 @@ def _load_engine(snapshot_path: str) -> tuple[GNNEngine, int]:
 
 
 def execute_batch_message(
-    engine: GNNEngine, message: BatchRequest, io_stall_s_per_access: float = 0.0
-) -> tuple[tuple, ServingCounters]:
-    """Answer one batch message; returns (reply items, counters delta).
+    engine: GNNEngine,
+    message: BatchRequest,
+    io_stall_s_per_access: float = 0.0,
+    worker_id: int = -1,
+    swapped: bool = False,
+) -> tuple[tuple, ServingCounters, tuple]:
+    """Answer one batch message; returns (reply items, counters delta, spans).
 
     Split out of the process loop so tests can drive a worker's
     execution path in-process.  ``io_stall_s_per_access`` optionally
@@ -57,6 +62,13 @@ def execute_batch_message(
     I/O cost model made temporal; see the serving benchmark) — the
     stall is slept *after* the batch, which preserves throughput
     semantics without perturbing the measured CPU path.
+
+    When the batch carries trace contexts (``message.trace``), one
+    ``serve.worker`` span is built per traced request — parented under
+    the server's request span, stamped with the batch identity, the
+    hot-swap flag and the request's own measured cost — and returned
+    for the server to export.  An untraced batch pays one ``is None``
+    check.
     """
     counters = ServingCounters()
     decoded: list[tuple[int, object]] = []
@@ -67,8 +79,30 @@ def execute_batch_message(
         except Exception:
             failures[request_id] = traceback.format_exc(limit=2)
 
+    contexts = dict(message.trace) if message.trace is not None else None
+    spans: dict[int, dict] = {}
     outcomes: dict[int, object] = {}
     if decoded:
+        if contexts:
+            queue_wait_s = (
+                max(0.0, time.monotonic() - message.dispatched_s)
+                if message.dispatched_s
+                else 0.0
+            )
+            for request_id, _ in decoded:
+                context = contexts.get(request_id)
+                if context is not None:
+                    spans[request_id] = obs_trace.start_span(
+                        "serve.worker",
+                        trace_id=context[0],
+                        parent_id=context[1],
+                        worker_id=worker_id,
+                        batch_id=message.batch_id,
+                        batch_size=len(decoded),
+                        epoch=message.epoch,
+                        swapped=swapped,
+                        queue_wait_s=round(queue_wait_s, 6),
+                    )
         specs = [spec for _, spec in decoded]
         try:
             # Physical index work is measured as a stats delta across
@@ -81,6 +115,14 @@ def execute_batch_message(
             after = engine.flat.stats.snapshot()
             delta = {key: after[key] - before[key] for key in after}
             for (request_id, _), result in zip(decoded, results):
+                span = spans.get(request_id)
+                if span is not None:
+                    obs_trace.finish_span(
+                        span,
+                        node_accesses=result.cost.node_accesses,
+                        distance_computations=result.cost.distance_computations,
+                        cpu_time=result.cost.cpu_time,
+                    )
                 outcomes[request_id] = encode_result(result)
             stall = io_stall_s_per_access * delta["node_accesses"]
             counters.record_batch(
@@ -92,12 +134,15 @@ def execute_batch_message(
             error = traceback.format_exc(limit=4)
             for request_id, _ in decoded:
                 failures[request_id] = error
+                span = spans.get(request_id)
+                if span is not None and span["end_s"] is None:
+                    obs_trace.finish_span(span, error=error.splitlines()[-1])
 
     items = tuple(
         (request_id, outcomes.get(request_id), failures.get(request_id))
         for request_id, _ in list(message.items)
     )
-    return items, counters
+    return items, counters, tuple(spans.values())
 
 
 def worker_main(
@@ -134,7 +179,9 @@ def worker_main(
             swapped = True
         else:
             swapped = False
-        items, counters = execute_batch_message(engine, message, io_stall_s_per_access)
+        items, counters, spans = execute_batch_message(
+            engine, message, io_stall_s_per_access, worker_id=worker_id, swapped=swapped
+        )
         if swapped:
             counters.record_swap()
         reply_queue.put(
@@ -145,5 +192,6 @@ def worker_main(
                 items=items,
                 counters=counters.snapshot(),
                 batch_id=message.batch_id,
+                spans=spans,
             )
         )

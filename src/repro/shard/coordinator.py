@@ -55,6 +55,9 @@ import numpy as np
 
 from repro.api.spec import AUTO, SHARDED, QuerySpec
 from repro.core.types import GNNResult, QueryCost
+from repro.obs import slowlog as obs_slowlog
+from repro.obs import trace as obs_trace
+from repro.obs.logging import get_logger
 from repro.serve.protocol import encode_spec, pack_frame, read_frame
 from repro.shard.health import CircuitBreaker, HealthMonitor
 from repro.shard.manifest import ShardManifest
@@ -62,6 +65,8 @@ from repro.shard.wire import ShardPing, ShardPong, ShardQuery, ShardReply
 
 #: Seconds slept before retrying a sub-query an overloaded node shed.
 OVERLOAD_BACKOFF_S = 0.05
+
+_log = get_logger("shard.coordinator")
 
 
 class ShardUnavailableError(RuntimeError):
@@ -92,20 +97,41 @@ class CoordinatorStats:
     breaker_fast_fails: int = 0
     cost: QueryCost = field(default_factory=QueryCost)
 
+    #: The integer fields :meth:`merge` sums (everything but ``cost``).
+    COUNTER_FIELDS = (
+        "queries",
+        "subqueries",
+        "shards_contacted",
+        "shards_pruned",
+        "retries",
+        "degraded_queries",
+        "failed_subqueries",
+        "breaker_trips",
+        "breaker_fast_fails",
+    )
+
     def snapshot(self) -> dict:
-        data = {
-            "queries": self.queries,
-            "subqueries": self.subqueries,
-            "shards_contacted": self.shards_contacted,
-            "shards_pruned": self.shards_pruned,
-            "retries": self.retries,
-            "degraded_queries": self.degraded_queries,
-            "failed_subqueries": self.failed_subqueries,
-            "breaker_trips": self.breaker_trips,
-            "breaker_fast_fails": self.breaker_fast_fails,
-        }
+        data = {key: getattr(self, key) for key in self.COUNTER_FIELDS}
         data["cost"] = self.cost.as_dict()
         return data
+
+    def merge(self, other) -> "CoordinatorStats":
+        """Fold another :class:`CoordinatorStats` (or snapshot dict) in.
+
+        The same contract as :meth:`ServingCounters.merge`: every
+        counter sums key-wise and the nested ``cost`` folds with
+        :func:`merge_costs`, so multi-coordinator deployments can roll
+        their stats up exactly like worker counters.
+        """
+        snapshot = other if isinstance(other, dict) else other.snapshot()
+        for key in self.COUNTER_FIELDS:
+            setattr(self, key, getattr(self, key) + int(snapshot.get(key, 0)))
+        cost = snapshot.get("cost", {})
+        part = QueryCost(
+            **{key: value for key, value in cost.items() if key != "algorithm"}
+        )
+        merge_costs(self.cost, part)
+        return self
 
 
 def merge_costs(total: QueryCost, part: QueryCost) -> None:
@@ -188,8 +214,12 @@ class _ShardLink:
     #: unboundedly on the coordinator side).
     WRITE_HIGH_WATER_BYTES = 1024 * 1024
 
-    async def request(self, payload: dict) -> ShardReply:
-        """Send one sub-query; await its (id-correlated) reply."""
+    async def request(self, payload: dict, trace: tuple | None = None) -> ShardReply:
+        """Send one sub-query; await its (id-correlated) reply.
+
+        ``trace`` is the optional ``(trace_id, parent_span_id)`` context
+        stamped onto the :class:`ShardQuery` frame when tracing is on.
+        """
         await self._ensure_connected()
         request_id = self._next_id
         self._next_id += 1
@@ -198,7 +228,9 @@ class _ShardLink:
         try:
             writer = self._writer
             writer.write(
-                pack_frame(ShardQuery(request_id=request_id, payload=payload))
+                pack_frame(
+                    ShardQuery(request_id=request_id, payload=payload, trace=trace)
+                )
             )
             if (
                 writer.transport.get_write_buffer_size()
@@ -353,8 +385,10 @@ class ShardCoordinator:
                 CircuitBreaker(
                     failure_threshold=failure_threshold,
                     reset_timeout_s=breaker_reset_s,
+                    name=f"shard-{link.shard_id} @ "
+                    f"{link.address[0]}:{link.address[1]}",
                 )
-                for _ in replicas
+                for link in replicas
             ]
             for replicas in self._links
         ]
@@ -420,6 +454,18 @@ class ShardCoordinator:
         """Lifetime counters (:meth:`CoordinatorStats.snapshot`)."""
         return self._stats.snapshot()
 
+    def breaker_states(self) -> dict:
+        """Live breaker state per replica: ``{(shard_id, "host:port"): state}``.
+
+        The source of the ``repro_shard_breaker_state`` gauge.
+        """
+        states = {}
+        for replicas, breakers in zip(self._links, self._breakers):
+            for link, breaker in zip(replicas, breakers):
+                address = f"{link.address[0]}:{link.address[1]}"
+                states[(link.shard_id, address)] = breaker.state
+        return states
+
     def __repr__(self) -> str:
         return (
             f"ShardCoordinator(shards={self.manifest.shard_count}, "
@@ -449,87 +495,159 @@ class ShardCoordinator:
         # One shared budget for the whole query: every sub-query attempt
         # (and its backoff sleep) draws from it, so a retried shard can
         # never stretch the query past the caller's deadline.
-        deadline = asyncio.get_running_loop().time() + self.deadline_s
-        group = np.asarray(spec.group, dtype=np.float64)
-        bounds = self.manifest.group_mindist_bounds(
-            group, spec.weights, spec.aggregate
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        deadline = started + self.deadline_s
+        tracer = obs_trace.get()
+        slow = obs_slowlog.get()
+        # Per-shard timing records, collected for the trace *and* the
+        # slow-query log; ``None`` (the common case) keeps the wave loop
+        # at one extra ``is None`` check per shard.
+        obs_records: list | None = (
+            [] if tracer is not None or slow is not None else None
         )
-        payload = encode_spec(spec)
-        if payload["index"] == SHARDED:
-            # Shard nodes plan locally over their own flat snapshot; the
-            # federation-level index choice has no meaning there.
-            payload["index"] = AUTO
-
-        # The sampled upper bound that lets the first wave go out
-        # concurrently.  Pointless for a single shard (it is always
-        # contacted), and it must be dropped as soon as any shard fails:
-        # the records that justify it may live on the dead shard, so a
-        # degraded answer can only prune on distances actually merged.
-        remaining = [int(sid) for sid in np.argsort(bounds, kind="stable")]
-        tau0 = float("inf")
-        if self.manifest.shard_count > 1:
-            # The best-bound shard's sample alone usually suffices (its
-            # records are the near ones) and keeps the kernel call small;
-            # the full union is the fallback for tiny shards.
-            tau0 = self.manifest.sample_kth_distance(
-                group, spec.k, spec.weights, spec.aggregate, shard_id=remaining[0]
+        root_span = (
+            tracer.start(
+                "shard.query",
+                k=spec.k,
+                group_size=len(spec.group),
+                shard_count=self.manifest.shard_count,
             )
-            if tau0 == float("inf"):
+            if tracer is not None
+            else None
+        )
+        try:
+            group = np.asarray(spec.group, dtype=np.float64)
+            route_span = (
+                tracer.start("shard.route", parent=root_span)
+                if tracer is not None
+                else None
+            )
+            bounds = self.manifest.group_mindist_bounds(
+                group, spec.weights, spec.aggregate
+            )
+            payload = encode_spec(spec)
+            if payload["index"] == SHARDED:
+                # Shard nodes plan locally over their own flat snapshot; the
+                # federation-level index choice has no meaning there.
+                payload["index"] = AUTO
+
+            # The sampled upper bound that lets the first wave go out
+            # concurrently.  Pointless for a single shard (it is always
+            # contacted), and it must be dropped as soon as any shard fails:
+            # the records that justify it may live on the dead shard, so a
+            # degraded answer can only prune on distances actually merged.
+            remaining = [int(sid) for sid in np.argsort(bounds, kind="stable")]
+            tau0 = float("inf")
+            if self.manifest.shard_count > 1:
+                # The best-bound shard's sample alone usually suffices (its
+                # records are the near ones) and keeps the kernel call small;
+                # the full union is the fallback for tiny shards.
                 tau0 = self.manifest.sample_kth_distance(
-                    group, spec.k, spec.weights, spec.aggregate
+                    group, spec.k, spec.weights, spec.aggregate, shard_id=remaining[0]
                 )
+                if tau0 == float("inf"):
+                    tau0 = self.manifest.sample_kth_distance(
+                        group, spec.k, spec.weights, spec.aggregate
+                    )
+            if route_span is not None:
+                tracer.finish(route_span, tau0=tau0)
 
-        candidates = []
-        contacted: list[int] = []
-        failed: list[int] = []
-        cost = QueryCost(algorithm="scatter-gather")
-        piloted = False
+            candidates = []
+            contacted: list[int] = []
+            failed: list[int] = []
+            cost = QueryCost(algorithm="scatter-gather")
+            piloted = False
 
-        while remaining:
-            if len(candidates) >= spec.k:
-                tau = self._kth_distance(candidates, spec.k)
-                targets = [sid for sid in remaining if bounds[sid] < tau]
-            elif tau0 != float("inf"):
-                targets = [sid for sid in remaining if bounds[sid] <= tau0]
-            else:
-                # No sampled bound and fewer than k candidates: serial
-                # pilot — the best-bound shard establishes a real tau.
-                targets = remaining[:1] if not piloted else list(remaining)
-            if not targets:
-                break
-            piloted = True
-            remaining = [sid for sid in remaining if sid not in targets]
-            replies = await asyncio.gather(
-                *(self._query_shard(sid, payload, deadline) for sid in targets),
-                return_exceptions=True,
+            while remaining:
+                if len(candidates) >= spec.k:
+                    tau = self._kth_distance(candidates, spec.k)
+                    targets = [sid for sid in remaining if bounds[sid] < tau]
+                elif tau0 != float("inf"):
+                    targets = [sid for sid in remaining if bounds[sid] <= tau0]
+                else:
+                    # No sampled bound and fewer than k candidates: serial
+                    # pilot — the best-bound shard establishes a real tau.
+                    targets = remaining[:1] if not piloted else list(remaining)
+                if not targets:
+                    break
+                piloted = True
+                remaining = [sid for sid in remaining if sid not in targets]
+                replies = await asyncio.gather(
+                    *(
+                        self._query_shard(
+                            sid,
+                            payload,
+                            deadline,
+                            parent_span=root_span,
+                            obs_records=obs_records,
+                        )
+                        for sid in targets
+                    ),
+                    return_exceptions=True,
+                )
+                unreachable = None
+                for shard_id, outcome in zip(targets, replies):
+                    if isinstance(outcome, ShardUnavailableError):
+                        failed.append(shard_id)
+                        unreachable = outcome
+                        tau0 = float("inf")
+                        continue
+                    if isinstance(outcome, BaseException):
+                        raise outcome
+                    contacted.append(shard_id)
+                    candidates.extend(outcome.neighbors)
+                    merge_costs(cost, outcome.cost)
+                if unreachable is not None and not self.allow_degraded:
+                    raise unreachable
+
+            merge_span = (
+                tracer.start("shard.merge", parent=root_span)
+                if tracer is not None
+                else None
             )
-            unreachable = None
-            for shard_id, outcome in zip(targets, replies):
-                if isinstance(outcome, ShardUnavailableError):
-                    failed.append(shard_id)
-                    unreachable = outcome
-                    tau0 = float("inf")
-                    continue
-                if isinstance(outcome, BaseException):
-                    raise outcome
-                contacted.append(shard_id)
-                candidates.extend(outcome.neighbors)
-                merge_costs(cost, outcome.cost)
-            if unreachable is not None and not self.allow_degraded:
-                raise unreachable
-
-        candidates.sort(key=lambda neighbor: (neighbor.distance, neighbor.record_id))
-        result = GNNResult(neighbors=candidates[: spec.k], cost=cost)
-        result.shards_contacted = sorted(contacted)
-        result.shards_pruned = sorted(remaining)
-        result.failed_shards = sorted(failed)
-        result.degraded = bool(failed)
+            candidates.sort(
+                key=lambda neighbor: (neighbor.distance, neighbor.record_id)
+            )
+            result = GNNResult(neighbors=candidates[: spec.k], cost=cost)
+            if merge_span is not None:
+                tracer.finish(merge_span, candidates=len(candidates))
+            result.shards_contacted = sorted(contacted)
+            result.shards_pruned = sorted(remaining)
+            result.failed_shards = sorted(failed)
+            result.degraded = bool(failed)
+        except BaseException as error:
+            if root_span is not None:
+                tracer.finish(root_span, outcome="error", error=str(error))
+            raise
 
         self._stats.queries += 1
         self._stats.shards_contacted += len(contacted)
         self._stats.shards_pruned += len(remaining)
         self._stats.degraded_queries += bool(failed)
         merge_costs(self._stats.cost, cost)
+
+        if root_span is not None:
+            tracer.finish(
+                root_span,
+                outcome="degraded" if failed else "ok",
+                shards_contacted=len(contacted),
+                shards_pruned=len(remaining),
+                failed_shards=len(failed),
+                node_accesses=cost.node_accesses,
+                distance_computations=cost.distance_computations,
+            )
+            result.trace_id = root_span["trace_id"]
+        if slow is not None:
+            slow.observe(
+                loop.time() - started,
+                kind="coordinator",
+                spec=spec,
+                cost=cost,
+                trace_id=None if root_span is None else root_span["trace_id"],
+                shards=obs_records,
+                degraded=bool(failed),
+            )
         return result
 
     @staticmethod
@@ -548,7 +666,12 @@ class ShardCoordinator:
         return None
 
     async def _query_shard(
-        self, shard_id: int, payload: dict, deadline: float
+        self,
+        shard_id: int,
+        payload: dict,
+        deadline: float,
+        parent_span: dict | None = None,
+        obs_records: list | None = None,
     ) -> GNNResult:
         """One sub-query: breaker-gated failover, budgeted timeout, retries.
 
@@ -558,8 +681,39 @@ class ShardCoordinator:
         exponentially with seeded jitter, and both the backoff and the
         per-attempt timeout are clipped to whatever remains of the
         query's deadline budget.
+
+        When ``parent_span`` is given (tracing on), one ``shard.dispatch``
+        span covers the whole sub-query and every attempt gets its own
+        ``shard.attempt`` child annotated with the attempt number, the
+        replica it hit, the breaker state at dispatch and the outcome;
+        spans the node shipped back ride into the local tracer.
+        ``obs_records`` (when given) collects a per-shard timing record
+        for the slow-query log.
         """
         loop = asyncio.get_running_loop()
+        tracer = obs_trace.get() if parent_span is not None else None
+        dispatch_span = (
+            tracer.start("shard.dispatch", parent=parent_span, shard=shard_id)
+            if tracer is not None
+            else None
+        )
+        observing = dispatch_span is not None or obs_records is not None
+        query_started = loop.time() if observing else 0.0
+        attempts_made = 0
+
+        def _conclude(outcome: str) -> None:
+            if dispatch_span is not None:
+                tracer.finish(dispatch_span, outcome=outcome, attempts=attempts_made)
+            if obs_records is not None:
+                obs_records.append(
+                    {
+                        "shard": shard_id,
+                        "elapsed_s": loop.time() - query_started,
+                        "attempts": attempts_made,
+                        "outcome": outcome,
+                    }
+                )
+
         attempts = self.retries + 1
         last_error: Exception | None = None
         for attempt in range(attempts):
@@ -579,6 +733,17 @@ class ShardCoordinator:
                     "per-query deadline budget exhausted"
                 )
                 break
+            attempts_made = attempt + 1
+            attempt_span = (
+                tracer.start(
+                    "shard.attempt",
+                    parent=dispatch_span,
+                    shard=shard_id,
+                    attempt=attempts_made,
+                )
+                if dispatch_span is not None
+                else None
+            )
             picked = self._pick_replica(shard_id)
             if picked is None:
                 # Every replica's breaker is open: the shard is known
@@ -586,25 +751,61 @@ class ShardCoordinator:
                 # timeout re-proving it.  Re-admission comes from the
                 # health monitor (or a breaker's own half-open window).
                 self._stats.breaker_fast_fails += 1
+                if attempt_span is not None:
+                    tracer.finish(
+                        attempt_span, breaker_state="open", outcome="fast-fail"
+                    )
+                _conclude("fast-fail")
                 raise ShardUnavailableError(
                     f"shard {shard_id}: all "
                     f"{len(self._links[shard_id])} replica breaker(s) open"
                 )
             link, breaker = picked
+            replica = f"{link.address[0]}:{link.address[1]}"
+            breaker_state = breaker.state
             self._stats.subqueries += 1
+            trace = (
+                (attempt_span["trace_id"], attempt_span["span_id"])
+                if attempt_span is not None
+                else None
+            )
             try:
                 reply = await asyncio.wait_for(
-                    link.request(payload), timeout=min(self.timeout_s, remaining)
+                    link.request(payload, trace=trace),
+                    timeout=min(self.timeout_s, remaining),
                 )
             except (ConnectionError, OSError, asyncio.TimeoutError) as error:
                 last_error = error
                 self._stats.failed_subqueries += 1
                 if breaker.record_failure():
                     self._stats.breaker_trips += 1
+                    _log.warning("breaker.tripped", shard=shard_id, replica=replica)
+                if attempt_span is not None:
+                    outcome = (
+                        "timeout"
+                        if isinstance(error, asyncio.TimeoutError)
+                        else "connection"
+                    )
+                    tracer.finish(
+                        attempt_span,
+                        replica=replica,
+                        breaker_state=breaker_state,
+                        outcome=outcome,
+                    )
                 await link.reset()
                 continue
             if reply.error is None:
                 breaker.record_success()
+                if attempt_span is not None:
+                    tracer.finish(
+                        attempt_span,
+                        replica=replica,
+                        breaker_state=breaker_state,
+                        outcome="ok",
+                    )
+                    if reply.spans:
+                        tracer.export(*reply.spans)
+                _conclude("ok")
                 return reply.result
             if reply.overloaded:
                 # Overload is backpressure from a live node, not death:
@@ -613,11 +814,27 @@ class ShardCoordinator:
                     f"shard {shard_id} shed the sub-query: {reply.error}"
                 )
                 self._stats.failed_subqueries += 1
+                if attempt_span is not None:
+                    tracer.finish(
+                        attempt_span,
+                        replica=replica,
+                        breaker_state=breaker_state,
+                        outcome="overloaded",
+                    )
                 continue
             # A semantic rejection (bad spec, unservable route): the
             # node is alive and retrying cannot change the outcome.
             breaker.record_success()
+            if attempt_span is not None:
+                tracer.finish(
+                    attempt_span,
+                    replica=replica,
+                    breaker_state=breaker_state,
+                    outcome="rejected",
+                )
+            _conclude("rejected")
             raise ShardQueryError(f"shard {shard_id}: {reply.error}")
+        _conclude("unavailable")
         raise ShardUnavailableError(
             f"shard {shard_id} unreachable after {attempts} attempt(s) "
             f"within the {self.deadline_s:.3f}s budget: {last_error}"

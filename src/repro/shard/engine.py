@@ -107,8 +107,8 @@ class ShardedEngine:
         return self.coordinator.manifest
 
     def stats(self) -> dict:
-        """The coordinator's lifetime counters."""
-        return self.coordinator.stats()
+        """The unified stats shape: counters nested under ``coordinator``."""
+        return {"coordinator": self.coordinator.stats()}
 
     def close(self) -> None:
         """Close the underlying coordinator (idempotent)."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import time
 
+from repro.obs.logging import get_logger
 from repro.serve.protocol import pack_frame, read_frame
 from repro.shard.wire import ShardPing, ShardPong
 
@@ -35,6 +36,8 @@ from repro.shard.wire import ShardPing, ShardPong
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+_log = get_logger("shard.health")
 
 
 class CircuitBreaker:
@@ -49,6 +52,10 @@ class CircuitBreaker:
         probe.
     clock:
         Monotonic time source (injectable for deterministic tests).
+    name:
+        Optional identity (e.g. ``"shard-2 @ host:port"``) stamped onto
+        structured log records of state transitions; unnamed breakers
+        stay silent in the log.
     """
 
     def __init__(
@@ -57,6 +64,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         reset_timeout_s: float = 1.0,
         clock=time.monotonic,
+        name: str | None = None,
     ):
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be at least 1")
@@ -65,10 +73,18 @@ class CircuitBreaker:
         self.failure_threshold = int(failure_threshold)
         self.reset_timeout_s = float(reset_timeout_s)
         self._clock = clock
+        self.name = name
         self._state = CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
         self.trips = 0  # lifetime closed/half-open -> open transitions
+
+    def _transition(self, state: str) -> None:
+        previous, self._state = self._state, state
+        if self.name is not None and previous != state:
+            _log.info(
+                "breaker.transition", breaker=self.name, state=state, was=previous
+            )
 
     @property
     def state(self) -> str:
@@ -85,14 +101,14 @@ class CircuitBreaker:
             return True
         if self._state == OPEN:
             if self._clock() - self._opened_at >= self.reset_timeout_s:
-                self._state = HALF_OPEN
+                self._transition(HALF_OPEN)
                 return True
             return False
         return False  # half-open: the single probe is already out
 
     def record_success(self) -> None:
         """A request (or heartbeat) through this replica succeeded."""
-        self._state = CLOSED
+        self._transition(CLOSED)
         self._consecutive_failures = 0
 
     def record_failure(self) -> bool:
@@ -108,7 +124,7 @@ class CircuitBreaker:
             or self._consecutive_failures >= self.failure_threshold
         )
         if should_trip and self._state != OPEN:
-            self._state = OPEN
+            self._transition(OPEN)
             self._opened_at = self._clock()
             self.trips += 1
             return True

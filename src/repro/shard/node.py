@@ -26,11 +26,21 @@ from __future__ import annotations
 import asyncio
 import threading
 
+from repro.obs.logging import get_logger
 from repro.rtree.flat import FlatRTree
 from repro.serve.protocol import decode_spec, encode_result, pack_frame, read_frame
 from repro.serve.server import DEFAULT_MAX_PENDING, GNNServer, ServerOverloadedError
-from repro.shard.wire import ShardPing, ShardPong, ShardQuery, ShardReply
+from repro.shard.wire import (
+    ShardPing,
+    ShardPong,
+    ShardQuery,
+    ShardReply,
+    ShardStatsQuery,
+    ShardStatsReply,
+)
 from repro.testing import faults
+
+_log = get_logger("shard.node")
 
 
 class ShardNode:
@@ -101,6 +111,12 @@ class ShardNode:
         self._thread.start()
         future = asyncio.run_coroutine_threadsafe(self._listen(), loop)
         self.address = future.result(timeout=10.0)
+        _log.info(
+            "node.started",
+            shard=self.shard_id,
+            address=list(self.address),
+            generation=self.generation,
+        )
         return self.address
 
     async def _listen(self) -> tuple[str, int]:
@@ -132,6 +148,7 @@ class ShardNode:
                 self._thread.join(timeout=10.0)
             loop.close()
         self._server.close()
+        _log.info("node.closed", shard=self.shard_id)
 
     async def _shutdown(self) -> None:
         if self._tcp_server is not None:
@@ -152,8 +169,59 @@ class ShardNode:
         self.close()
 
     def stats(self) -> dict:
-        """The wrapped :class:`GNNServer`'s statistics snapshot."""
-        return self._server.stats()
+        """The unified stats shape, plus this node's ``shard`` identity."""
+        snapshot = self._server.stats()
+        snapshot["shard"] = {
+            "shard_id": self.shard_id,
+            "generation": self.generation,
+            "size": self.size,
+            "address": list(self.address) if self.address else None,
+        }
+        return snapshot
+
+    def latency_seconds(self) -> list[float]:
+        """The wrapped server's latency reservoir (metrics adapters)."""
+        return self._server.latency_seconds()
+
+    def stats_payload(self) -> dict:
+        """The :class:`ShardStatsReply` payload (also what HTTP serves).
+
+        Includes rendered Prometheus text when a metrics registry is
+        attached via :meth:`start_exposition` or assigned to
+        :attr:`registry`.
+        """
+        payload = {
+            "shard_id": self.shard_id,
+            "generation": self.generation,
+            "stats": self.stats(),
+        }
+        registry = getattr(self, "registry", None)
+        if registry is not None:
+            from repro.obs.exposition import render
+
+            payload["metrics"] = render(registry)
+        return payload
+
+    #: Optional metrics registry answering STATS scrapes; set by
+    #: :meth:`start_exposition` (or directly by embedding code).
+    registry = None
+
+    def start_exposition(self, host: str = "127.0.0.1", port: int = 0):
+        """Attach a metrics registry and start the admin HTTP listener.
+
+        The registry mounts this node's server collector; the same
+        registry also starts answering the STATS wire op with rendered
+        Prometheus text.  Returns the HTTP ``(host, port)``.
+        """
+        from repro.obs.metrics import MetricsRegistry, server_collector
+
+        if self.registry is None:
+            registry = MetricsRegistry()
+            registry.register(server_collector(self))
+            self.registry = registry
+        return self._server.start_exposition(
+            host, port, registry=self.registry, stats_fn=self.stats_payload
+        )
 
     def swap_snapshot(self, path) -> int:
         """Hot-swap this node onto a compacted successor snapshot.
@@ -215,6 +283,16 @@ class ShardNode:
                     )
                 elif isinstance(message, ShardQuery):
                     self._admit(message, writer)
+                elif isinstance(message, ShardStatsQuery):
+                    self._write_frame(
+                        writer,
+                        pack_frame(
+                            ShardStatsReply(
+                                request_id=message.request_id,
+                                payload=self.stats_payload(),
+                            )
+                        ),
+                    )
                 else:
                     break  # unknown frame: drop the connection
         finally:
@@ -229,7 +307,7 @@ class ShardNode:
         """Hand one sub-query to the worker pool; reply when it resolves."""
         try:
             spec = decode_spec(query.payload)
-            future = self._server.submit(spec)
+            future = self._server.submit(spec, trace_parent=query.trace)
         except ServerOverloadedError as error:
             self._write_frame(
                 writer,
@@ -255,8 +333,14 @@ class ShardNode:
             # per-reply cost down on the scatter-gather hot path.
             error = done.exception()
             if error is None:
+                result = done.result()
+                # Spans the server attached for this traced request ride
+                # the wire as a reply field, not on the pickled result.
+                spans = result.__dict__.pop("spans", ())
                 reply = ShardReply(
-                    request_id=query.request_id, result=encode_result(done.result())
+                    request_id=query.request_id,
+                    result=encode_result(result),
+                    spans=tuple(spans),
                 )
             else:
                 reply = ShardReply(request_id=query.request_id, error=str(error))

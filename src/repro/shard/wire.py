@@ -18,6 +18,15 @@ The protocol is deliberately tiny:
   exactly one of ``result`` / ``error`` is set, with ``overloaded``
   distinguishing admission-control rejections (retryable after backoff)
   from semantic failures (not retryable).
+* :class:`ShardStatsQuery` / :class:`ShardStatsReply` — the STATS admin
+  op: the node answers with its unified ``stats()`` snapshot (and the
+  rendered Prometheus text when it carries a metrics registry), which
+  is what ``python -m repro.obs`` scrapes.
+
+Frames added after the protocol first shipped extend dataclasses with
+*defaulted* fields only (``ShardQuery.trace``, ``ShardReply.spans``), so
+old and new peers interoperate: a node that predates tracing simply
+never sees or sends the new fields.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.types import GNNResult
+from repro.serve.protocol import pack_frame  # noqa: F401  (re-export for scrapers)
 
 
 @dataclass(frozen=True)
@@ -48,10 +58,17 @@ class ShardPong:
 
 @dataclass(frozen=True)
 class ShardQuery:
-    """One sub-query: an encoded spec payload plus its correlation id."""
+    """One sub-query: an encoded spec payload plus its correlation id.
+
+    ``trace`` carries the caller's trace context — a ``(trace_id,
+    parent_span_id)`` pair — when end-to-end tracing is on; the node
+    threads it into its server so the batch-execution spans it produces
+    parent correctly under the coordinator's per-attempt span.
+    """
 
     request_id: int
     payload: dict[str, Any]
+    trace: tuple[str, str] | None = None
 
 
 @dataclass(frozen=True)
@@ -69,3 +86,25 @@ class ShardReply:
     result: GNNResult | None = None
     error: str | None = None
     overloaded: bool = False
+    #: Span dicts produced node-side for a traced query (empty otherwise).
+    spans: tuple = ()
+
+
+@dataclass(frozen=True)
+class ShardStatsQuery:
+    """The STATS admin op: ask a node for its stats/metrics snapshot."""
+
+    request_id: int
+
+
+@dataclass(frozen=True)
+class ShardStatsReply:
+    """Answer to :class:`ShardStatsQuery`.
+
+    ``payload`` holds ``{"shard_id", "generation", "stats"}`` plus a
+    ``"metrics"`` key with rendered Prometheus text when the node has a
+    metrics registry attached.
+    """
+
+    request_id: int
+    payload: dict[str, Any]

@@ -52,8 +52,11 @@ import zlib
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.obs.logging import get_logger
 from repro.storage.atomicio import fsync_directory
 from repro.testing import faults
+
+_log = get_logger("storage.wal")
 
 _MAGIC = b"RWAL"
 _VERSION = 1
@@ -127,6 +130,12 @@ class WriteAheadLog:
             if scan.torn:
                 with open(self.path, "r+b") as handle:
                     handle.truncate(scan.valid_bytes)
+                _log.warning(
+                    "wal.torn_tail_truncated",
+                    path=self.path,
+                    valid_bytes=scan.valid_bytes,
+                    records=len(scan.records),
+                )
             self._handle = open(self.path, "ab")
         else:
             self.base_generation = int(base_generation)
@@ -191,6 +200,7 @@ class WriteAheadLog:
         self.base_generation = int(base_generation)
         self._handle = open(self.path, "ab")
         self._last_sync = time.monotonic()
+        _log.info("wal.reset", path=self.path, base_generation=self.base_generation)
 
     def close(self) -> None:
         if not self._handle.closed:

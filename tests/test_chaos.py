@@ -35,6 +35,8 @@ from repro.shard import (
     ShardUnavailableError,
     partition_dataset,
 )
+from repro.obs import orphan_spans
+from repro.obs import trace as obs_trace
 from repro.shard.health import CLOSED, HALF_OPEN, OPEN
 from repro.testing import faults
 from repro.testing.faults import FaultError, FaultPlan, InjectedCrash
@@ -242,7 +244,7 @@ class TestWorkerDeath:
             assert deaths == 2  # one per original worker, exactly
             assert as_tuples(result) == as_tuples(reference_engine.execute(spec))
             stats = server.stats()
-            assert stats["worker_deaths"] == 2
+            assert stats["server"]["worker_deaths"] == 2
         finally:
             server.close(timeout=30)
 
@@ -494,7 +496,12 @@ class TestFourShardAcceptance:
             assert not baseline.degraded
             victim = 2
 
+            # Tracing stays on through the kill: every request — healthy,
+            # mid-death, fast-failed — must still yield a *complete* span
+            # tree (no span whose parent went missing with the node).
+            tracer = obs_trace.enable()
             trace_outcomes = []
+            trace_ids = []
             for step in range(12):
                 if step == 4:
                     nodes[victim].close()  # mid-trace node death
@@ -506,6 +513,8 @@ class TestFourShardAcceptance:
                     (result.degraded, time.perf_counter() - started)
                 )
                 assert result.neighbors  # degraded still answers
+                assert result.trace_id is not None
+                trace_ids.append(result.trace_id)
 
             healthy_prefix = [degraded for degraded, _ in trace_outcomes[:4]]
             degraded_suffix = [degraded for degraded, _ in trace_outcomes[4:]]
@@ -519,6 +528,48 @@ class TestFourShardAcceptance:
             assert stats["degraded_queries"] == 8
             assert stats["breaker_trips"] == 1
             assert stats["breaker_fast_fails"] == 7  # every post-trip query
+
+            # Every request in the run — including the one that watched
+            # the node die and the seven that fast-failed on the open
+            # breaker — produced a complete span tree.
+            for step, trace_id in enumerate(trace_ids):
+                spans = tracer.spans(trace_id)
+                assert orphan_spans(spans) == [], f"step {step} has orphan spans"
+                tree = tracer.tree(trace_id)
+                assert tree is not None and tree["name"] == "shard.query"
+                degraded, _ = trace_outcomes[step]
+                assert tree["attrs"]["outcome"] == (
+                    "degraded" if degraded else "ok"
+                )
+                attempts = [s for s in spans if s["name"] == "shard.attempt"]
+                assert attempts, f"step {step} recorded no attempt spans"
+                for span in attempts:
+                    assert span["attrs"]["attempt"] >= 1
+                    assert "breaker_state" in span["attrs"]
+                    assert span["end_s"] is not None
+
+            # Step 4 saw the death live: the victim's dispatch retried,
+            # with each attempt numbered and stamped "connection".
+            death_attempts = [
+                s
+                for s in tracer.spans(trace_ids[4])
+                if s["name"] == "shard.attempt" and s["attrs"]["shard"] == victim
+            ]
+            assert [s["attrs"]["attempt"] for s in death_attempts] == [1, 2]
+            assert all(
+                s["attrs"]["outcome"] == "connection" for s in death_attempts
+            )
+            # Post-trip queries fast-fail: one attempt, breaker open.
+            for trace_id in trace_ids[5:]:
+                fast_fails = [
+                    s
+                    for s in tracer.spans(trace_id)
+                    if s["name"] == "shard.attempt"
+                    and s["attrs"]["shard"] == victim
+                ]
+                assert len(fast_fails) == 1
+                assert fast_fails[0]["attrs"]["outcome"] == "fast-fail"
+                assert fast_fails[0]["attrs"]["breaker_state"] == "open"
 
             restarted = ShardNode(
                 victim,
@@ -538,4 +589,5 @@ class TestFourShardAcceptance:
             assert recovered.shards_contacted == [0, 1, 2, 3]  # 100% healthy
             assert as_tuples(recovered) == as_tuples(baseline)
         finally:
+            obs_trace.disable()
             close_all(coordinator, *nodes, *([restarted] if restarted else []))

@@ -237,7 +237,7 @@ class TestWorkerExecution:
         good = encode_spec(QuerySpec(group=rng.uniform(0, 1000, size=(4, 2)), k=2))
         bad = dict(good, group=np.zeros((0, 2)))  # empty group fails validation
         message = BatchRequest(epoch=0, snapshot_path=str(snapshot_path), items=((1, good), (2, bad)))
-        items, counters = execute_batch_message(engine, message)
+        items, counters, _ = execute_batch_message(engine, message)
         by_id = {request_id: (result, error) for request_id, result, error in items}
         assert by_id[1][0] is not None and by_id[1][1] is None
         assert by_id[2][0] is None and "non-empty" in by_id[2][1]
@@ -257,7 +257,7 @@ class TestWorkerExecution:
             snapshot_path=str(snapshot_path),
             items=tuple((i, encode_spec(spec)) for i, spec in enumerate(specs)),
         )
-        items, counters = execute_batch_message(engine, message)
+        items, counters, _ = execute_batch_message(engine, message)
         results = [result for _, result, _ in items]
         assert all(result.cost.algorithm == "MBM-batch" for result in results)
         # Every member reports the bucket-level cost; the counters must
@@ -272,7 +272,7 @@ class TestWorkerExecution:
             epoch=0, snapshot_path=str(snapshot_path), items=((0, encode_spec(spec)),)
         )
         started = time.perf_counter()
-        _, counters = execute_batch_message(engine, message, io_stall_s_per_access=1e-4)
+        _, counters, _ = execute_batch_message(engine, message, io_stall_s_per_access=1e-4)
         elapsed = time.perf_counter() - started
         assert counters.io_stall_s == pytest.approx(1e-4 * counters.node_accesses)
         assert elapsed >= counters.io_stall_s

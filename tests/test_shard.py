@@ -349,7 +349,10 @@ class TestFederatedConformance:
                     node.stats()["total"]["distance_computations"] for node in nodes
                 )
                 assert total == metered
-                assert engine.stats()["cost"]["distance_computations"] == total
+                assert (
+                    engine.stats()["coordinator"]["cost"]["distance_computations"]
+                    == total
+                )
         finally:
             for node in nodes:
                 node.close()
